@@ -1,0 +1,347 @@
+// Package bookleaf is a from-scratch Go implementation of BookLeaf, the
+// UK Mini-App Consortium's 2-D unstructured Arbitrary Lagrangian-
+// Eulerian (ALE) shock-hydrodynamics mini-application (Truby et al.,
+// "BookLeaf: An Unstructured Hydrodynamics Mini-Application", 2018).
+//
+// The package exposes the mini-app's driver surface: configure one of
+// the four standard test problems (Sod, Noh, Sedov, Saltzmann), run it
+// serially, threaded ("hybrid"), or across goroutine ranks with halo
+// exchanges (the paper's flat-MPI analogue), and collect per-kernel
+// timings matching the paper's Table II breakdown. Lower-level pieces
+// live in internal packages: the Lagrangian kernels (internal/hydro),
+// the advection step (internal/ale), the mesh (internal/mesh), the
+// Typhon-like communication layer (internal/typhon), domain
+// decomposition (internal/partition) and the platform performance
+// model (internal/machine).
+//
+// Quick start:
+//
+//	res, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 200, NY: 4})
+//	if err != nil { ... }
+//	fmt.Println(res.Steps, res.Time, res.Timers["getq"])
+package bookleaf
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"bookleaf/internal/ale"
+	"bookleaf/internal/checkpoint"
+	"bookleaf/internal/hydro"
+	"bookleaf/internal/mesh"
+	"bookleaf/internal/par"
+	"bookleaf/internal/setup"
+	"bookleaf/internal/timers"
+)
+
+// Config selects and parameterises a run. The zero value is not valid:
+// Problem, NX and NY are required.
+type Config struct {
+	// Problem is one of "sod", "noh", "sedov", "saltzmann",
+	// "waterair", or "nohdisc" (Noh on a quarter-disc mesh; NY
+	// ignored).
+	Problem string
+	// NX, NY are the mesh resolution.
+	NX, NY int
+	// TEnd overrides the problem's standard end time when positive.
+	TEnd float64
+	// MaxSteps caps the step count when positive.
+	MaxSteps int
+
+	// ALE selects the advection mode: "" (pure Lagrangian),
+	// "eulerian", or "smoothed". ALEFreq remaps every n-th step
+	// (default 1).
+	ALE     string
+	ALEFreq int
+	// FirstOrderRemap disables the limited linear reconstruction.
+	FirstOrderRemap bool
+
+	// Hourglass overrides the default control: "none", "filter",
+	// "subzonal" ("" keeps the problem default).
+	Hourglass string
+
+	// Ranks is the number of goroutine ranks (the flat-MPI analogue);
+	// Threads the per-rank thread count (the OpenMP analogue). Both
+	// default to 1.
+	Ranks, Threads int
+	// Partitioner is "rcb" (default) or "metis" (the multilevel
+	// graph partitioner).
+	Partitioner string
+
+	// GatherAcc switches the acceleration kernel to the race-free
+	// gather formulation (ablation of the paper's OpenMP data
+	// dependency).
+	GatherAcc bool
+
+	// SedovEnergy overrides the Sedov blast energy when positive.
+	SedovEnergy float64
+
+	// Checkpoint, when set, names a restart-dump file written every
+	// CheckpointEvery steps (default: end of run only). Resume, when
+	// set, restores a prior dump before stepping. Serial runs only.
+	Checkpoint      string
+	CheckpointEvery int
+	Resume          string
+
+	// HistoryEvery records a StepRecord every n steps into
+	// Result.History (0 = off). Serial runs only.
+	HistoryEvery int
+
+	// testDtMin overrides the minimum-timestep abort threshold; used
+	// by failure-injection tests.
+	testDtMin float64
+}
+
+func (c *Config) normalise() error {
+	if c.Ranks == 0 {
+		c.Ranks = 1
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.ALEFreq == 0 {
+		c.ALEFreq = 1
+	}
+	if c.Partitioner == "" {
+		c.Partitioner = "rcb"
+	}
+	if c.Ranks < 1 || c.Threads < 1 || c.ALEFreq < 1 {
+		return fmt.Errorf("bookleaf: Ranks, Threads and ALEFreq must be >= 1")
+	}
+	switch c.ALE {
+	case "", "eulerian", "smoothed":
+	default:
+		return fmt.Errorf("bookleaf: unknown ALE mode %q", c.ALE)
+	}
+	switch c.Hourglass {
+	case "", "none", "filter", "subzonal":
+	default:
+		return fmt.Errorf("bookleaf: unknown hourglass control %q", c.Hourglass)
+	}
+	switch c.Partitioner {
+	case "rcb", "metis":
+	default:
+		return fmt.Errorf("bookleaf: unknown partitioner %q", c.Partitioner)
+	}
+	if c.ALE == "smoothed" && c.Ranks > 1 {
+		return fmt.Errorf("bookleaf: smoothed ALE is serial-only (ghost smoothing stencils are incomplete)")
+	}
+	if (c.Checkpoint != "" || c.Resume != "") && c.Ranks > 1 {
+		return fmt.Errorf("bookleaf: checkpoint/resume are serial-only")
+	}
+	return nil
+}
+
+func (c *Config) aleOptions() *ale.Options {
+	switch c.ALE {
+	case "eulerian":
+		return &ale.Options{Mode: ale.Eulerian, FirstOrder: c.FirstOrderRemap}
+	case "smoothed":
+		return &ale.Options{Mode: ale.Smoothed, SmoothWeight: 0.5, FirstOrder: c.FirstOrderRemap}
+	}
+	return nil
+}
+
+func (c *Config) applyOverrides(opt *hydro.Options) {
+	switch c.Hourglass {
+	case "none":
+		opt.Hourglass = hydro.HGNone
+	case "filter":
+		opt.Hourglass = hydro.HGFilter
+	case "subzonal":
+		opt.Hourglass = hydro.HGSubzonal
+	}
+	opt.GatherAcc = c.GatherAcc
+	if c.testDtMin > 0 {
+		opt.DtMin = c.testDtMin
+	}
+}
+
+// Result is the outcome of a run: global final fields, per-kernel
+// timings (slowest rank, i.e. the bulk-synchronous wall estimate) and
+// conservation audits.
+type Result struct {
+	Problem        string
+	NEl, NNd       int
+	Ranks, Threads int
+
+	Steps int
+	Time  float64
+
+	// Timers holds per-kernel seconds (max across ranks); TimerSum
+	// the rank-summed CPU seconds; Calls the invocation counts.
+	Timers   map[string]float64
+	TimerSum map[string]float64
+	Calls    map[string]int64
+
+	// Final global fields (element- and node-indexed on the global
+	// mesh).
+	Rho, Ein, P []float64
+	U, V        []float64
+	X, Y        []float64
+
+	// Mesh is the global problem mesh (initial coordinates).
+	Mesh *mesh.Mesh
+
+	// Conservation audit.
+	E0, EFinal, ExternalWork float64
+	// FloorEnergy is energy injected by the negative-energy floor
+	// (zero on well-resolved problems).
+	FloorEnergy      float64
+	Mass0, MassFinal float64
+
+	// TEnd actually used, and the problem gamma (for reference
+	// solutions).
+	TEnd, Gamma float64
+	SedovEnergy float64
+
+	// CommMsgs and CommWords are the total messages and float64 words
+	// sent through the Typhon layer (zero for serial runs).
+	CommMsgs, CommWords int64
+
+	// History holds periodic step records when Config.HistoryEvery is
+	// set.
+	History []StepRecord
+}
+
+// StepRecord is one entry of the optional step history: the quantities
+// BookLeaf's step log prints.
+type StepRecord struct {
+	Step    int
+	Time    float64
+	Dt      float64
+	Energy  float64
+	Kinetic float64
+}
+
+// EnergyDrift returns |E - E0 - W - F| / max(E0, 1e-300), the
+// conservation defect accounting for piston work W and floor energy F.
+func (r *Result) EnergyDrift() float64 {
+	return math.Abs(r.EFinal-r.E0-r.ExternalWork-r.FloorEnergy) / math.Max(math.Abs(r.E0), 1e-300)
+}
+
+// Run executes the configured problem to completion.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks > 1 {
+		return runParallel(cfg)
+	}
+	return runSerial(cfg)
+}
+
+func runSerial(cfg Config) (*Result, error) {
+	p, err := setup.ByName(cfg.Problem, cfg.NX, cfg.NY, cfg.SedovEnergy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.applyOverrides(&p.Opt)
+	s, err := p.NewState()
+	if err != nil {
+		return nil, err
+	}
+	s.Pool = par.New(cfg.Threads)
+
+	tEnd := p.TEnd
+	if cfg.TEnd > 0 {
+		tEnd = cfg.TEnd
+	}
+	var remap *ale.Remapper
+	if a := cfg.aleOptions(); a != nil {
+		remap = ale.NewRemapper(*a, s)
+	}
+
+	if cfg.Resume != "" {
+		f, err := os.Open(cfg.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("bookleaf: resume: %w", err)
+		}
+		snap, err := checkpoint.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := snap.Restore(s, cfg.Problem, cfg.NX, cfg.NY); err != nil {
+			return nil, err
+		}
+	}
+
+	writeCheckpoint := func() error {
+		f, err := os.Create(cfg.Checkpoint)
+		if err != nil {
+			return fmt.Errorf("bookleaf: checkpoint: %w", err)
+		}
+		defer f.Close()
+		return checkpoint.Capture(s, cfg.Problem, cfg.NX, cfg.NY).Write(f)
+	}
+
+	tm := timers.NewSet()
+	hooks := &hydro.Hooks{
+		ReduceDt: func(dt float64, e int) (float64, int) {
+			if s.Time+dt > tEnd {
+				dt = tEnd - s.Time
+			}
+			return dt, e
+		},
+	}
+	res := &Result{
+		Problem: p.Name, Ranks: 1, Threads: cfg.Threads,
+		NEl: p.Mesh.NEl, NNd: p.Mesh.NNd,
+		E0: s.TotalEnergy(), Mass0: s.TotalMass(),
+		Mesh: p.Mesh, TEnd: tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
+	}
+	for s.Time < tEnd-1e-12 {
+		if cfg.MaxSteps > 0 && s.StepCount >= cfg.MaxSteps {
+			break
+		}
+		if _, err := s.Step(tm, hooks); err != nil {
+			return nil, fmt.Errorf("bookleaf: step %d (t=%v): %w", s.StepCount, s.Time, err)
+		}
+		if remap != nil && s.StepCount%cfg.ALEFreq == 0 {
+			tm.Start(hydro.TimerALE)
+			err := remap.Apply(s, tm, nil)
+			tm.Stop(hydro.TimerALE)
+			if err != nil {
+				return nil, fmt.Errorf("bookleaf: remap at step %d: %w", s.StepCount, err)
+			}
+		}
+		if cfg.Checkpoint != "" && cfg.CheckpointEvery > 0 && s.StepCount%cfg.CheckpointEvery == 0 {
+			if err := writeCheckpoint(); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.HistoryEvery > 0 && s.StepCount%cfg.HistoryEvery == 0 {
+			res.History = append(res.History, StepRecord{
+				Step: s.StepCount, Time: s.Time, Dt: s.DtPrev,
+				Energy: s.TotalEnergy(), Kinetic: s.KineticEnergy(),
+			})
+		}
+	}
+	if cfg.Checkpoint != "" {
+		if err := writeCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+	res.Steps = s.StepCount
+	res.Time = s.Time
+	res.Timers = tm.Snapshot()
+	res.TimerSum = tm.Snapshot()
+	res.Calls = map[string]int64{}
+	for _, n := range tm.Names() {
+		res.Calls[n] = tm.Count(n)
+	}
+	res.Rho = append([]float64(nil), s.Rho...)
+	res.Ein = append([]float64(nil), s.Ein...)
+	res.P = append([]float64(nil), s.P...)
+	res.U = append([]float64(nil), s.U...)
+	res.V = append([]float64(nil), s.V...)
+	res.X = append([]float64(nil), s.X...)
+	res.Y = append([]float64(nil), s.Y...)
+	res.EFinal = s.TotalEnergy()
+	res.ExternalWork = s.ExternalWork
+	res.FloorEnergy = s.FloorEnergy
+	res.MassFinal = s.TotalMass()
+	return res, nil
+}

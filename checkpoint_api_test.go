@@ -1,0 +1,49 @@
+package bookleaf_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"bookleaf"
+)
+
+func TestCheckpointResumeThroughConfig(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "sod.ckpt")
+
+	// Continuous reference run.
+	ref := run(t, bookleaf.Config{Problem: "sod", NX: 48, NY: 2, MaxSteps: 60})
+
+	// First half, dumping a checkpoint at the end.
+	first := run(t, bookleaf.Config{Problem: "sod", NX: 48, NY: 2, MaxSteps: 30, Checkpoint: ck})
+	if first.Steps != 30 {
+		t.Fatalf("first leg steps = %d", first.Steps)
+	}
+
+	// Second half from the dump.
+	second := run(t, bookleaf.Config{Problem: "sod", NX: 48, NY: 2, MaxSteps: 60, Resume: ck})
+	if second.Steps != ref.Steps {
+		t.Fatalf("resumed steps %d != reference %d", second.Steps, ref.Steps)
+	}
+	for e := range ref.Rho {
+		if second.Rho[e] != ref.Rho[e] {
+			t.Fatalf("resume diverged at element %d: %v vs %v", e, second.Rho[e], ref.Rho[e])
+		}
+	}
+	if math.Abs(second.Time-ref.Time) > 0 {
+		t.Fatalf("resume time %v != reference %v", second.Time, ref.Time)
+	}
+}
+
+func TestCheckpointRejectsParallel(t *testing.T) {
+	if _, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 16, NY: 2, Ranks: 2, Checkpoint: "x"}); err == nil {
+		t.Fatal("parallel checkpoint accepted")
+	}
+}
+
+func TestResumeMissingFileFails(t *testing.T) {
+	if _, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 16, NY: 2, Resume: "/nonexistent/file"}); err == nil {
+		t.Fatal("missing resume file accepted")
+	}
+}

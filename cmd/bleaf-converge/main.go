@@ -1,0 +1,96 @@
+// Command bleaf-converge runs a mesh-convergence study: Sod's shock
+// tube at a sweep of resolutions, with the L1 density error against the
+// exact Riemann solution and the observed convergence order between
+// consecutive levels — the standard verification exercise for a shock
+// hydrodynamics code (first-order at shocks, approaching second order
+// in smooth regions).
+//
+// Usage:
+//
+//	bleaf-converge                 # 2-D code, 50..400 cells
+//	bleaf-converge -max 800        # up to 800 cells
+//	bleaf-converge -ale eulerian   # the Eulerian (remapped) variant
+//	bleaf-converge -ref1d          # additionally run the 1-D reference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"bookleaf"
+	"bookleaf/internal/exact"
+	"bookleaf/internal/ref1d"
+)
+
+func main() {
+	var (
+		maxN = flag.Int("max", 400, "finest resolution")
+		ale  = flag.String("ale", "", "ALE mode for the 2-D runs")
+		do1d = flag.Bool("ref1d", false, "also run the 1-D reference solver")
+	)
+	flag.Parse()
+
+	rp := exact.Sod(0.5)
+	refRho := func(x float64) float64 {
+		s, err := rp.Sample(x, 0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s.Rho
+	}
+
+	var ns []int
+	for n := 50; n <= *maxN; n *= 2 {
+		ns = append(ns, n)
+	}
+
+	fmt.Println("== Sod mesh convergence: L1 density error vs exact Riemann ==")
+	mode := "lagrangian"
+	if *ale != "" {
+		mode = *ale
+	}
+	fmt.Printf("2-D code (%s):\n%-8s %12s %8s\n", mode, "cells", "L1 error", "order")
+	prev := 0.0
+	for _, n := range ns {
+		res, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: n, NY: 2, ALE: *ale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		xs, rho := res.XProfile(res.Rho)
+		l1 := bookleaf.L1Error(xs, rho, refRho)
+		order := "-"
+		if prev > 0 {
+			order = fmt.Sprintf("%.2f", math.Log2(prev/l1))
+		}
+		fmt.Printf("%-8d %12.5f %8s\n", n, l1, order)
+		prev = l1
+	}
+
+	if *do1d {
+		fmt.Printf("\n1-D reference solver:\n%-8s %12s %8s\n", "cells", "L1 error", "order")
+		prev = 0.0
+		for _, n := range ns {
+			s, err := ref1d.SodTube(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := s.Run(0.25); err != nil {
+				log.Fatal(err)
+			}
+			cx := s.Centroids()
+			var l1 float64
+			for i, x := range cx {
+				l1 += math.Abs(s.Rho[i] - refRho(x))
+			}
+			l1 /= float64(len(cx))
+			order := "-"
+			if prev > 0 {
+				order = fmt.Sprintf("%.2f", math.Log2(prev/l1))
+			}
+			fmt.Printf("%-8d %12.5f %8s\n", n, l1, order)
+			prev = l1
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Command bleaf-tables regenerates every table and figure of the
+// paper's evaluation section:
+//
+//	-table1   experimental configurations (platform registry)
+//	-table2   per-kernel breakdown, model vs paper (Noh, single node)
+//	-fig1     overall single-node Noh times across the 7 configs
+//	-fig2a    viscosity kernel times (single node)
+//	-fig2b    acceleration kernel times (single node)
+//	-fig3     Sod hybrid strong scaling 8-64 nodes, overall
+//	-fig4a    viscosity kernel strong scaling
+//	-fig4b    acceleration kernel strong scaling
+//	-real     additionally run the real Go implementation on this host
+//	          (reduced-size Noh) and print its measured flat-vs-hybrid
+//	          per-kernel breakdown — the same experiment at laptop scale
+//	-all      everything
+//
+// Platform seconds come from internal/machine: a roofline +
+// execution-model performance model of the paper's hardware (see
+// DESIGN.md for the substitution rationale); the paper's numbers are
+// printed alongside so shape agreement is visible directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"bookleaf"
+	"bookleaf/internal/machine"
+)
+
+func main() {
+	var (
+		t1     = flag.Bool("table1", false, "print Table I")
+		t2     = flag.Bool("table2", false, "print Table II (model vs paper)")
+		f1     = flag.Bool("fig1", false, "print Figure 1 series")
+		f2a    = flag.Bool("fig2a", false, "print Figure 2a series")
+		f2b    = flag.Bool("fig2b", false, "print Figure 2b series")
+		f3     = flag.Bool("fig3", false, "print Figure 3 series")
+		f4a    = flag.Bool("fig4a", false, "print Figure 4a series")
+		f4b    = flag.Bool("fig4b", false, "print Figure 4b series")
+		real   = flag.Bool("real", false, "run the real implementation at reduced scale")
+		whatif = flag.Bool("whatif", false, "model the paper's future-work CUB scenario")
+		all    = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+	if *all {
+		*t1, *t2, *f1, *f2a, *f2b, *f3, *f4a, *f4b, *real, *whatif = true, true, true, true, true, true, true, true, true, true
+	}
+	if !(*t1 || *t2 || *f1 || *f2a || *f2b || *f3 || *f4a || *f4b || *real || *whatif) {
+		flag.Usage()
+		return
+	}
+
+	if *t1 {
+		table1()
+	}
+	if *t2 {
+		table2()
+	}
+	if *f1 {
+		figure1()
+	}
+	if *f2a {
+		figure2("a", "viscosity (getq)", func(r machine.PaperRow) float64 { return r.Visc })
+	}
+	if *f2b {
+		figure2("b", "acceleration (getacc)", func(r machine.PaperRow) float64 { return r.Acc })
+	}
+	if *f3 || *f4a || *f4b {
+		figures34(*f3, *f4a, *f4b)
+	}
+	if *whatif {
+		whatIf()
+	}
+	if *real {
+		realRuns()
+	}
+}
+
+// whatIf prints the paper's future-work scenario: CUDA with proper
+// device-side reductions (CUB), removing the host-bound time
+// differential kernel.
+func whatIf() {
+	w := machine.Table2Workload()
+	fmt.Println("== What-if (paper future work): CUDA with CUB device reductions ==")
+	fmt.Printf("%-14s %12s %12s %10s %12s %12s\n",
+		"config", "overall now", "with CUB", "speedup", "getdt now", "getdt CUB")
+	for _, p := range machine.Platforms() {
+		if p.Exec != machine.CUDA {
+			continue
+		}
+		base := machine.ModelRow(p, w)
+		fixed := machine.CUDAFixedDtRow(p, w)
+		fmt.Printf("%-14s %12.1f %12.1f %9.2fx %12.1f %12.1f\n",
+			p.Name, base.Overall, fixed.Overall, base.Overall/fixed.Overall,
+			base.GetDt, fixed.GetDt)
+	}
+	fmt.Println()
+}
+
+func table1() {
+	fmt.Println("== Table I: experimental configuration ==")
+	fmt.Printf("%-18s %-22s %-9s %s\n", "Hardware", "System", "Compiler", "Compiler Flags")
+	seen := map[string]bool{}
+	for _, p := range machine.Platforms() {
+		key := p.Name + p.System
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Printf("%-18s %-22s %-9s %s\n", p.Name, p.System, p.Compiler, p.Flags)
+	}
+	fmt.Println()
+}
+
+func table2() {
+	w := machine.Table2Workload()
+	fmt.Println("== Table II: per-kernel breakdown, Noh, single node (seconds) ==")
+	fmt.Printf("modelled workload: %d elements, %d steps\n", w.NEl, w.Steps)
+	fmt.Printf("%-18s %9s %9s %9s %9s %9s %9s %9s\n",
+		"config", "overall", "visc", "accel", "getdt", "getgeom", "getforce", "getpc")
+	for i, p := range machine.Platforms() {
+		m := machine.ModelRow(p, w)
+		r := machine.PaperTable2[i]
+		fmt.Printf("%-18s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f   <- model\n",
+			m.Name, m.Overall, m.Visc, m.Acc, m.GetDt, m.GetGeom, m.GetForce, m.GetPC)
+		fmt.Printf("%-18s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f   <- paper\n",
+			"", r.Overall, r.Visc, r.Acc, r.GetDt, r.GetGeom, r.GetForce, r.GetPC)
+	}
+	fmt.Println()
+}
+
+func figure1() {
+	w := machine.Table2Workload()
+	fmt.Println("== Figure 1: overall Noh single-node execution time (s) ==")
+	fmt.Printf("%-18s %9s %9s\n", "config", "model", "paper")
+	for i, p := range machine.Platforms() {
+		m := machine.ModelRow(p, w)
+		fmt.Printf("%-18s %9.1f %9.1f\n", m.Name, m.Overall, machine.PaperTable2[i].Overall)
+	}
+	fmt.Println()
+}
+
+func figure2(sub, title string, get func(machine.PaperRow) float64) {
+	w := machine.Table2Workload()
+	fmt.Printf("== Figure 2%s: %s kernel time, Noh single node (s) ==\n", sub, title)
+	fmt.Printf("%-18s %9s %9s\n", "config", "model", "paper")
+	for i, p := range machine.Platforms() {
+		m := machine.ModelRow(p, w)
+		fmt.Printf("%-18s %9.1f %9.1f\n", m.Name, get(m), get(machine.PaperTable2[i]))
+	}
+	fmt.Println()
+}
+
+func figures34(f3, f4a, f4b bool) {
+	w := machine.Fig3Workload()
+	nodes := []int{8, 16, 32, 64}
+	for _, p := range machine.Platforms() {
+		if p.Exec != machine.Hybrid {
+			continue
+		}
+		pts := p.StrongScaling(w, nodes)
+		cpu := "Skylake"
+		if p.Name == "Broadwell Hybrid" {
+			cpu = "Broadwell"
+		}
+		if f3 {
+			fmt.Printf("== Figure 3: Sod hybrid strong scaling, %s, overall (s) ==\n", cpu)
+			fmt.Printf("%-6s %10s %10s %10s\n", "nodes", "model", "paper", "speedup")
+			prev := 0.0
+			for i, pt := range pts {
+				paper := machine.PaperFig3[cpu][i].Secs
+				sp := "-"
+				if prev > 0 {
+					sp = fmt.Sprintf("%.2fx", prev/pt.Overall)
+				}
+				fmt.Printf("%-6d %10.0f %10.0f %10s\n", pt.Nodes, pt.Overall, paper, sp)
+				prev = pt.Overall
+			}
+			fmt.Println()
+		}
+		if f4a {
+			fmt.Printf("== Figure 4a: viscosity kernel strong scaling, %s (s) ==\n", cpu)
+			for _, pt := range pts {
+				fmt.Printf("%-6d %10.0f\n", pt.Nodes, pt.Viscosity)
+			}
+			fmt.Println()
+		}
+		if f4b {
+			fmt.Printf("== Figure 4b: acceleration kernel strong scaling, %s (s) ==\n", cpu)
+			for _, pt := range pts {
+				fmt.Printf("%-6d %10.0f\n", pt.Nodes, pt.Acceleration)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// realRuns executes the actual Go implementation at reduced scale on
+// this host: flat goroutine-ranks versus one rank with threads, the
+// same single-node contrast the paper measures, plus a rank-scaling
+// sweep (the real analogue of Figure 3).
+func realRuns() {
+	ncpu := runtime.NumCPU()
+	ranks := ncpu
+	if ranks > 8 {
+		ranks = 8
+	}
+	if ranks < 4 {
+		ranks = 4
+	}
+	fmt.Printf("== Real runs on this host (%d CPUs): Noh %dx%d ==\n", ncpu, 96, 96)
+	if ncpu < ranks {
+		fmt.Printf("note: only %d CPU(s) available — goroutine ranks oversubscribe the core,\n", ncpu)
+		fmt.Println("so these runs demonstrate the communication structure and correctness")
+		fmt.Println("rather than speedup; see the machine model for the full-scale numbers.")
+	}
+	for _, mode := range []struct {
+		name   string
+		ranks  int
+		thread int
+	}{
+		{"flat", ranks, 1},
+		{"hybrid", 1, ranks},
+	} {
+		res, err := bookleaf.Run(bookleaf.Config{
+			Problem: "noh", NX: 96, NY: 96,
+			Ranks: mode.ranks, Threads: mode.thread,
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		total := 0.0
+		for _, s := range res.Timers {
+			total += s
+		}
+		fmt.Printf("%-8s (%d ranks x %d threads): overall %.2fs  getq %.2fs (%.0f%%)  getacc %.2fs  getdt %.2fs\n",
+			mode.name, mode.ranks, mode.thread, total,
+			res.Timers["getq"], 100*res.Timers["getq"]/total,
+			res.Timers["getacc"], res.Timers["getdt"])
+	}
+	fmt.Println()
+	fmt.Println("== Real strong scaling on this host: Sod 256x8, Lagrangian ==")
+	fmt.Printf("%-6s %10s %10s\n", "ranks", "wall(s)", "speedup")
+	base := 0.0
+	for _, r := range []int{1, 2, 4, ranks} {
+		res, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 256, NY: 8, Ranks: r})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		total := 0.0
+		for _, s := range res.Timers {
+			total += s
+		}
+		if base == 0 {
+			base = total
+		}
+		fmt.Printf("%-6d %10.2f %9.2fx\n", r, total, base/total)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,227 @@
+// Command bookleaf runs the BookLeaf mini-app: one of the four standard
+// shock-hydrodynamics problems on a 2-D unstructured quadrilateral
+// mesh, serial, threaded ("hybrid") or across goroutine ranks (the
+// flat-MPI analogue), printing the per-kernel timing breakdown the
+// paper reports in Table II plus a conservation audit.
+//
+// Usage:
+//
+//	bookleaf -problem noh -nx 100 -ny 100
+//	bookleaf -deck decks/sod.deck -profile sod.csv
+//	bookleaf -problem sod -nx 400 -ny 4 -ranks 8 -partitioner metis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"bookleaf"
+	"bookleaf/internal/config"
+	"bookleaf/internal/dump"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bookleaf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		deckPath    = flag.String("deck", "", "input deck file (overrides problem flags)")
+		problem     = flag.String("problem", "sod", "problem: sod, noh, sedov, saltzmann")
+		nx          = flag.Int("nx", 100, "cells in x")
+		ny          = flag.Int("ny", 10, "cells in y")
+		tend        = flag.Float64("tend", 0, "end time (0 = problem default)")
+		maxSteps    = flag.Int("maxsteps", 0, "step cap (0 = none)")
+		ranks       = flag.Int("ranks", 1, "goroutine ranks (flat-MPI analogue)")
+		threads     = flag.Int("threads", 1, "threads per rank (OpenMP analogue)")
+		partitioner = flag.String("partitioner", "rcb", "rcb or metis")
+		aleMode     = flag.String("ale", "", "ALE mode: eulerian, smoothed (default Lagrangian)")
+		aleFreq     = flag.Int("alefreq", 1, "remap every n steps")
+		hourglass   = flag.String("hourglass", "", "override: none, filter, subzonal")
+		gatherAcc   = flag.Bool("gatheracc", false, "race-free acceleration gather (ablation)")
+		sedovE      = flag.Float64("sedov-energy", 0, "Sedov blast energy override")
+		profileOut  = flag.String("profile", "", "write final 1-D profile CSV to this file")
+		vtkOut      = flag.String("vtk", "", "write the final state as a legacy VTK file")
+		ckpt        = flag.String("checkpoint", "", "write a restart dump to this file")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "also dump every n steps")
+		resume      = flag.String("resume", "", "restore a restart dump before running")
+		history     = flag.Int("history", 0, "print a step record every n steps")
+		quiet       = flag.Bool("quiet", false, "suppress the kernel breakdown")
+	)
+	flag.Parse()
+
+	var cfg bookleaf.Config
+	if *deckPath != "" {
+		f, err := os.Open(*deckPath)
+		if err != nil {
+			return err
+		}
+		deck, err := config.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg, err = deckToConfig(deck)
+		if err != nil {
+			return err
+		}
+		if unused := deck.Unused(); len(unused) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: unused deck keys: %v\n", unused)
+		}
+	} else {
+		cfg = bookleaf.Config{
+			Problem: *problem, NX: *nx, NY: *ny, TEnd: *tend, MaxSteps: *maxSteps,
+			Ranks: *ranks, Threads: *threads, Partitioner: *partitioner,
+			ALE: *aleMode, ALEFreq: *aleFreq, Hourglass: *hourglass,
+			GatherAcc: *gatherAcc, SedovEnergy: *sedovE,
+			Checkpoint: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume,
+			HistoryEvery: *history,
+		}
+	}
+
+	start := time.Now()
+	res, err := bookleaf.Run(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("problem    %s (%dx%d cells, %d elements, %d nodes)\n",
+		res.Problem, cfg.NX, cfg.NY, res.NEl, res.NNd)
+	fmt.Printf("parallel   %d rank(s) x %d thread(s)\n", res.Ranks, res.Threads)
+	fmt.Printf("steps      %d to t=%.6f\n", res.Steps, res.Time)
+	fmt.Printf("wall       %.3fs\n", wall.Seconds())
+	fmt.Printf("energy     E0=%.8g E=%.8g work=%.8g drift=%.3g\n",
+		res.E0, res.EFinal, res.ExternalWork, res.EnergyDrift())
+	fmt.Printf("mass       M0=%.8g M=%.8g\n", res.Mass0, res.MassFinal)
+
+	if len(res.History) > 0 {
+		fmt.Println("\nstep history:")
+		fmt.Printf("  %8s %12s %12s %14s %14s\n", "step", "time", "dt", "energy", "kinetic")
+		for _, h := range res.History {
+			fmt.Printf("  %8d %12.6f %12.3e %14.8g %14.8g\n", h.Step, h.Time, h.Dt, h.Energy, h.Kinetic)
+		}
+	}
+
+	if !*quiet {
+		fmt.Println("\nper-kernel breakdown (max across ranks):")
+		printBreakdown(res)
+	}
+
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var xs, rho, p, ein []float64
+		switch res.Problem {
+		case "noh", "sedov":
+			xs, rho = res.RadialProfile(res.Rho)
+			_, p = res.RadialProfile(res.P)
+			_, ein = res.RadialProfile(res.Ein)
+			if err := dump.Columns(f, []string{"r", "rho", "p", "ein"}, xs, rho, p, ein); err != nil {
+				return err
+			}
+		default:
+			xs, rho = res.XProfile(res.Rho)
+			_, p = res.XProfile(res.P)
+			_, ein = res.XProfile(res.Ein)
+			if err := dump.Columns(f, []string{"x", "rho", "p", "ein"}, xs, rho, p, ein); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nprofile written to %s\n", *profileOut)
+	}
+	if *vtkOut != "" {
+		f, err := os.Create(*vtkOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		err = dump.WriteVTK(f, "bookleaf "+res.Problem, res.X, res.Y, res.Mesh.ElNd,
+			dump.VTKField{Name: "rho", Values: res.Rho},
+			dump.VTKField{Name: "pressure", Values: res.P},
+			dump.VTKField{Name: "ein", Values: res.Ein},
+			dump.VTKField{Name: "u", Values: res.U},
+			dump.VTKField{Name: "v", Values: res.V},
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("VTK dump written to %s\n", *vtkOut)
+	}
+	return nil
+}
+
+func printBreakdown(res *bookleaf.Result) {
+	type row struct {
+		name string
+		sec  float64
+	}
+	var rows []row
+	var total float64
+	for name, sec := range res.Timers {
+		rows = append(rows, row{name, sec})
+		total += sec
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sec > rows[j].sec })
+	fmt.Printf("  %-12s %10s %8s %8s\n", "kernel", "seconds", "percent", "calls")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.sec / total
+		}
+		fmt.Printf("  %-12s %10.4f %7.1f%% %8d\n", r.name, r.sec, pct, res.Calls[r.name])
+	}
+	fmt.Printf("  %-12s %10.4f\n", "total", total)
+}
+
+func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
+	var cfg bookleaf.Config
+	var err error
+	cfg.Problem = d.String("control", "problem", "sod")
+	if cfg.NX, err = d.Int("control", "nx", 100); err != nil {
+		return cfg, err
+	}
+	if cfg.NY, err = d.Int("control", "ny", 10); err != nil {
+		return cfg, err
+	}
+	if cfg.TEnd, err = d.Float("control", "tend", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.MaxSteps, err = d.Int("control", "maxsteps", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.Ranks, err = d.Int("control", "ranks", 1); err != nil {
+		return cfg, err
+	}
+	if cfg.Threads, err = d.Int("control", "threads", 1); err != nil {
+		return cfg, err
+	}
+	cfg.Partitioner = d.String("control", "partitioner", "rcb")
+	cfg.ALE = d.String("ale", "mode", "")
+	if cfg.ALE == "lagrangian" || cfg.ALE == "off" {
+		cfg.ALE = ""
+	}
+	if cfg.ALEFreq, err = d.Int("ale", "freq", 1); err != nil {
+		return cfg, err
+	}
+	if cfg.FirstOrderRemap, err = d.Bool("ale", "firstorder", false); err != nil {
+		return cfg, err
+	}
+	cfg.Hourglass = d.String("hydro", "hourglass", "")
+	if cfg.GatherAcc, err = d.Bool("hydro", "gatheracc", false); err != nil {
+		return cfg, err
+	}
+	if cfg.SedovEnergy, err = d.Float("hydro", "sedov_energy", 0); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+
+	"bookleaf/internal/config"
+)
+
+func TestDeckToConfig(t *testing.T) {
+	deck, err := config.ParseString(`
+[control]
+problem = noh
+nx = 64
+ny = 32
+tend = 0.3
+ranks = 4
+threads = 2
+partitioner = metis
+[ale]
+mode = eulerian
+freq = 2
+firstorder = true
+[hydro]
+hourglass = filter
+gatheracc = yes
+sedov_energy = 0.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := deckToConfig(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Problem != "noh" || cfg.NX != 64 || cfg.NY != 32 || cfg.TEnd != 0.3 {
+		t.Fatalf("control section wrong: %+v", cfg)
+	}
+	if cfg.Ranks != 4 || cfg.Threads != 2 || cfg.Partitioner != "metis" {
+		t.Fatalf("parallel section wrong: %+v", cfg)
+	}
+	if cfg.ALE != "eulerian" || cfg.ALEFreq != 2 || !cfg.FirstOrderRemap {
+		t.Fatalf("ale section wrong: %+v", cfg)
+	}
+	if cfg.Hourglass != "filter" || !cfg.GatherAcc || cfg.SedovEnergy != 0.5 {
+		t.Fatalf("hydro section wrong: %+v", cfg)
+	}
+	if unused := deck.Unused(); len(unused) != 0 {
+		t.Fatalf("unexpected unused keys: %v", unused)
+	}
+}
+
+func TestDeckToConfigDefaults(t *testing.T) {
+	deck, err := config.ParseString("[control]\nproblem = sod\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := deckToConfig(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NX != 100 || cfg.NY != 10 || cfg.Ranks != 1 || cfg.ALE != "" {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestDeckToConfigLagrangianAliases(t *testing.T) {
+	for _, mode := range []string{"lagrangian", "off"} {
+		deck, _ := config.ParseString("[control]\nproblem = sod\n[ale]\nmode = " + mode + "\n")
+		cfg, err := deckToConfig(deck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.ALE != "" {
+			t.Fatalf("mode %q mapped to %q, want empty", mode, cfg.ALE)
+		}
+	}
+}
+
+func TestDeckToConfigTypeErrors(t *testing.T) {
+	deck, _ := config.ParseString("[control]\nproblem = sod\nnx = lots\n")
+	if _, err := deckToConfig(deck); err == nil {
+		t.Fatal("bad nx accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package bookleaf_test
+
+import (
+	"testing"
+
+	"bookleaf"
+)
+
+func TestCommStatsReported(t *testing.T) {
+	serial := run(t, bookleaf.Config{Problem: "sod", NX: 32, NY: 4, MaxSteps: 10})
+	if serial.CommMsgs != 0 || serial.CommWords != 0 {
+		t.Fatalf("serial run reported traffic: %d msgs %d words", serial.CommMsgs, serial.CommWords)
+	}
+	par := run(t, bookleaf.Config{Problem: "sod", NX: 32, NY: 4, MaxSteps: 10, Ranks: 2})
+	if par.CommMsgs == 0 || par.CommWords == 0 {
+		t.Fatal("parallel run reported no traffic")
+	}
+	// Two halo exchanges per step, one message per neighbour pair per
+	// exchange, two ranks (one neighbour each): 4 messages per step.
+	want := int64(4 * par.Steps)
+	if par.CommMsgs != want {
+		t.Fatalf("msgs = %d, want %d (2 exchanges x 2 ranks x %d steps)", par.CommMsgs, want, par.Steps)
+	}
+}
+
+func TestCommVolumeScalesWithRanks(t *testing.T) {
+	// More ranks -> more partition surface -> more traffic.
+	r2 := run(t, bookleaf.Config{Problem: "noh", NX: 24, NY: 24, MaxSteps: 15, Ranks: 2})
+	r4 := run(t, bookleaf.Config{Problem: "noh", NX: 24, NY: 24, MaxSteps: 15, Ranks: 4})
+	if r4.CommWords <= r2.CommWords {
+		t.Fatalf("traffic did not grow with ranks: %d (2) vs %d (4)", r2.CommWords, r4.CommWords)
+	}
+}

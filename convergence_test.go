@@ -1,0 +1,38 @@
+package bookleaf_test
+
+import (
+	"math"
+	"testing"
+
+	"bookleaf"
+	"bookleaf/internal/exact"
+)
+
+// Mesh convergence of the 2-D code on Sod: L1 error against the exact
+// Riemann solution must drop at ~first order (the expected rate for a
+// shock-dominated L1 norm).
+func TestSodMeshConvergence(t *testing.T) {
+	rp := exact.Sod(0.5)
+	refRho := func(x float64) float64 {
+		s, err := rp.Sample(x, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Rho
+	}
+	errAt := func(n int) float64 {
+		res := run(t, bookleaf.Config{Problem: "sod", NX: n, NY: 2})
+		xs, rho := res.XProfile(res.Rho)
+		return bookleaf.L1Error(xs, rho, refRho)
+	}
+	e50 := errAt(50)
+	e100 := errAt(100)
+	e200 := errAt(200)
+	if !(e200 < e100 && e100 < e50) {
+		t.Fatalf("errors not decreasing: %v %v %v", e50, e100, e200)
+	}
+	order := math.Log2(e50/e200) / 2
+	if order < 0.8 || order > 1.6 {
+		t.Fatalf("convergence order %v outside [0.8, 1.6] (errors %v %v %v)", order, e50, e100, e200)
+	}
+}

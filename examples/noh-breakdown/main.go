@@ -1,0 +1,100 @@
+// Noh per-kernel breakdown: the paper's Table II experiment at host
+// scale. Runs the Noh implosion flat (one goroutine rank per core-slot)
+// and hybrid (one rank, threaded kernels with the acceleration scatter
+// left serial, as in the reference OpenMP port), prints both per-kernel
+// breakdowns, and checks the simulation against the exact Noh solution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+
+	"bookleaf"
+	"bookleaf/internal/exact"
+)
+
+func main() {
+	ncpu := runtime.NumCPU()
+	par := ncpu
+	if par > 8 {
+		par = 8
+	}
+
+	configs := []struct {
+		label          string
+		ranks, threads int
+	}{
+		{"flat", par, 1},
+		{"hybrid", 1, par},
+	}
+
+	var results []*bookleaf.Result
+	for _, c := range configs {
+		res, err := bookleaf.Run(bookleaf.Config{
+			Problem: "noh", NX: 80, NY: 80,
+			Ranks: c.ranks, Threads: c.threads,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("== %s: %d rank(s) x %d thread(s), %d steps ==\n",
+			c.label, c.ranks, c.threads, res.Steps)
+		printBreakdown(res)
+		fmt.Println()
+	}
+
+	// The paper's single-node story: the viscosity kernel threads
+	// well, the acceleration scatter does not.
+	flat, hyb := results[0], results[1]
+	fmt.Printf("hybrid/flat ratios:  getq %.2fx   getacc %.2fx   getdt %.2fx\n",
+		hyb.Timers["getq"]/flat.Timers["getq"],
+		hyb.Timers["getacc"]/flat.Timers["getacc"],
+		hyb.Timers["getdt"]/flat.Timers["getdt"])
+
+	// Validate the physics against the exact solution.
+	noh := exact.NewNoh()
+	rs, rho := flat.RadialProfile(flat.Rho)
+	peak := 0.0
+	for _, v := range rho {
+		if v > peak {
+			peak = v
+		}
+	}
+	fmt.Printf("\nexact post-shock density %.1f, simulated peak %.2f\n", noh.PostShockDensity(), peak)
+	fmt.Printf("exact shock radius %.3f; density at that radius %.2f\n",
+		noh.ShockRadius(flat.Time), at(rs, rho, noh.ShockRadius(flat.Time)))
+}
+
+func at(rs, vals []float64, r float64) float64 {
+	best, dist := 0.0, 1e300
+	for i := range rs {
+		d := rs[i] - r
+		if d < 0 {
+			d = -d
+		}
+		if d < dist {
+			dist, best = d, vals[i]
+		}
+	}
+	return best
+}
+
+func printBreakdown(res *bookleaf.Result) {
+	type kv struct {
+		name string
+		sec  float64
+	}
+	var rows []kv
+	total := 0.0
+	for k, v := range res.Timers {
+		rows = append(rows, kv{k, v})
+		total += v
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sec > rows[j].sec })
+	for _, r := range rows {
+		fmt.Printf("  %-10s %8.3fs (%4.1f%%)\n", r.name, r.sec, 100*r.sec/total)
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: run Sod's shock tube through the public bookleaf API,
+// print the run summary, the conservation audit, and an ASCII density
+// profile against the exact Riemann solution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"bookleaf"
+	"bookleaf/internal/exact"
+)
+
+func main() {
+	res, err := bookleaf.Run(bookleaf.Config{
+		Problem: "sod",
+		NX:      200,
+		NY:      4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Sod shock tube: %d elements, %d steps to t=%.3f\n", res.NEl, res.Steps, res.Time)
+	fmt.Printf("energy drift: %.2e   mass drift: %.2e\n\n",
+		res.EnergyDrift(), math.Abs(res.MassFinal-res.Mass0)/res.Mass0)
+
+	xs, rho := res.XProfile(res.Rho)
+	rp := exact.Sod(0.5)
+
+	fmt.Println("density profile (s = simulation, e = exact):")
+	const rows = 16
+	for r := rows; r >= 0; r-- {
+		level := 0.125 + (1.0-0.125)*float64(r)/rows
+		var line strings.Builder
+		for i := 0; i < len(xs); i += len(xs) / 64 {
+			sim := rho[i]
+			ex, _ := rp.Sample(xs[i], res.Time)
+			simHit := math.Abs(sim-level) < 0.45/rows
+			exHit := math.Abs(ex.Rho-level) < 0.45/rows
+			switch {
+			case simHit && exHit:
+				line.WriteByte('*')
+			case simHit:
+				line.WriteByte('s')
+			case exHit:
+				line.WriteByte('e')
+			default:
+				line.WriteByte(' ')
+			}
+		}
+		fmt.Printf("%5.2f |%s\n", level, line.String())
+	}
+	fmt.Printf("      +%s\n", strings.Repeat("-", 64))
+	fmt.Printf("       x = 0%sx = 1\n", strings.Repeat(" ", 54))
+
+	l1 := bookleaf.L1Error(xs, rho, func(x float64) float64 {
+		s, err := rp.Sample(x, res.Time)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s.Rho
+	})
+	fmt.Printf("\nL1 density error vs exact Riemann solution: %.4f\n", l1)
+}

@@ -1,0 +1,100 @@
+package bookleaf
+
+// Failure-injection tests live in the package itself so they can reach
+// the unexported test knobs.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A rank that hits a timestep collapse mid-run must bring the whole
+// parallel run down cleanly — an error return, not a deadlock. The
+// compensation protocol in runParallel keeps the halo-exchange schedule
+// symmetric while the ranks agree to abort.
+func TestParallelFailurePropagatesCleanly(t *testing.T) {
+	cfg := Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4,
+		testDtMin: 1e-3, // unreachably large once the shock forms
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected a timestep-collapse error")
+		}
+		if !strings.Contains(err.Error(), "collapsed") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-timeoutC(t):
+		t.Fatal("parallel failure deadlocked")
+	}
+}
+
+// The same failure with the Eulerian remap active exercises the remap
+// compensation path too.
+func TestParallelFailureWithRemapCleanly(t *testing.T) {
+	cfg := Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 3, ALE: "eulerian",
+		testDtMin: 1e-3,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected a timestep-collapse error")
+		}
+	case <-timeoutC(t):
+		t.Fatal("parallel remap failure deadlocked")
+	}
+}
+
+func TestSerialFailureReportsStep(t *testing.T) {
+	_, err := Run(Config{Problem: "sod", NX: 32, NY: 2, testDtMin: 1e-3})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "step") {
+		t.Fatalf("error lacks step context: %v", err)
+	}
+}
+
+func TestHistoryRecorded(t *testing.T) {
+	res, err := Run(Config{Problem: "sod", NX: 32, NY: 2, MaxSteps: 20, HistoryEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 4 {
+		t.Fatalf("history entries = %d, want 4", len(res.History))
+	}
+	prevT := -1.0
+	for _, h := range res.History {
+		if h.Time <= prevT {
+			t.Fatalf("history time not increasing: %+v", h)
+		}
+		prevT = h.Time
+		if h.Dt <= 0 || h.Energy <= 0 {
+			t.Fatalf("bad history record: %+v", h)
+		}
+	}
+}
+
+func timeoutC(t *testing.T) <-chan struct{} {
+	t.Helper()
+	ch := make(chan struct{})
+	go func() {
+		// Generous bound; a deadlock would hang forever.
+		time.Sleep(30 * time.Second)
+		close(ch)
+	}()
+	return ch
+}

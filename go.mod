@@ -1,0 +1,3 @@
+module bookleaf
+
+go 1.24

@@ -1,0 +1,498 @@
+// Package ale implements BookLeaf's optional advection (remap) step:
+// ALEGETMESH selects the target mesh (full Eulerian restore or a
+// relaxation-smoothed mesh), ALEGETFVOL computes swept volumes from the
+// Lagrangian to the target mesh, ALEADVECT transports the independent
+// variables (corner/cell mass, cell internal energy, nodal momentum)
+// with a second-order van Leer/Barth-limited donor-cell scheme in
+// swept-volume form (Benson), and ALEUPDATE rebuilds the dependent
+// variables (density, specific energy, velocity) on the target mesh.
+//
+// The corner (sub-zonal) control volumes make the staggered remap
+// conservative by construction: every sub-face flux is added to one
+// corner and subtracted from its neighbour, so total mass, internal
+// energy and momentum are conserved to round-off — invariants the
+// tests assert.
+package ale
+
+import (
+	"fmt"
+	"math"
+
+	"bookleaf/internal/geom"
+	"bookleaf/internal/hydro"
+	"bookleaf/internal/mesh"
+	"bookleaf/internal/timers"
+)
+
+// Mode selects the ALE target-mesh strategy.
+type Mode int
+
+const (
+	// Eulerian remaps back to the generated initial mesh every step
+	// (the mesh never accumulates Lagrangian drift).
+	Eulerian Mode = iota
+	// Smoothed relaxes interior nodes towards the average of their
+	// edge neighbours, the classic ALE mesh-quality strategy.
+	Smoothed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Eulerian:
+		return "eulerian"
+	case Smoothed:
+		return "smoothed"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configure the remap.
+type Options struct {
+	Mode Mode
+	// SmoothWeight in (0,1] blends node positions towards the
+	// neighbour average in Smoothed mode.
+	SmoothWeight float64
+	// FirstOrder disables the limited linear reconstruction (ablation).
+	FirstOrder bool
+}
+
+// DefaultOptions returns an Eulerian second-order remap.
+func DefaultOptions() Options {
+	return Options{Mode: Eulerian, SmoothWeight: 0.5}
+}
+
+// Hooks extend the remap to distributed meshes: ExchangeCellFields must
+// refresh ghost-element entries of the given element-indexed fields.
+// Nil (or a nil field) means serial operation.
+type Hooks struct {
+	ExchangeCellFields func(fields ...[]float64)
+}
+
+// ErrRemap reports a remap failure (a flux emptied a corner mass, which
+// means the mesh moved more than a cell width in one remap).
+type ErrRemap struct {
+	Element int
+	Corner  int
+	Mass    float64
+}
+
+func (e *ErrRemap) Error() string {
+	return fmt.Sprintf("ale: corner %d of element %d left with mass %v after remap", e.Corner, e.Element, e.Mass)
+}
+
+// Remapper holds scratch storage for repeated remaps of one state.
+type Remapper struct {
+	Opt Options
+
+	xT, yT         []float64 // target coordinates
+	gradRX, gradRY []float64 // limited density gradient
+	gradEX, gradEY []float64 // limited energy gradient
+	cRho, cEin     []float64 // cell density/energy snapshots
+	dCMass         []float64 // corner mass deltas
+	dEnergy        []float64 // cell internal-energy deltas
+	dPx, dPy       []float64 // nodal momentum deltas
+	ndAdj          [][]int   // node -> neighbour nodes (for smoothing)
+}
+
+// NewRemapper allocates a remapper for the given state.
+func NewRemapper(opt Options, s *hydro.State) *Remapper {
+	nel, nnd := s.Mesh.NEl, s.Mesh.NNd
+	r := &Remapper{
+		Opt:     opt,
+		xT:      make([]float64, nnd),
+		yT:      make([]float64, nnd),
+		gradRX:  make([]float64, nel),
+		gradRY:  make([]float64, nel),
+		gradEX:  make([]float64, nel),
+		gradEY:  make([]float64, nel),
+		cRho:    make([]float64, nel),
+		cEin:    make([]float64, nel),
+		dCMass:  make([]float64, 4*nel),
+		dEnergy: make([]float64, nel),
+		dPx:     make([]float64, nnd),
+		dPy:     make([]float64, nnd),
+	}
+	if opt.Mode == Smoothed {
+		r.ndAdj = nodeAdjacency(s)
+	}
+	return r
+}
+
+func nodeAdjacency(s *hydro.State) [][]int {
+	m := s.Mesh
+	adj := make([][]int, m.NNd)
+	seen := make(map[[2]int]bool)
+	for e := 0; e < m.NEl; e++ {
+		for k := 0; k < 4; k++ {
+			a := m.ElNd[e][k]
+			b := m.ElNd[e][(k+1)&3]
+			key := [2]int{a, b}
+			if a > b {
+				key = [2]int{b, a}
+			}
+			if !seen[key] {
+				seen[key] = true
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
+			}
+		}
+	}
+	return adj
+}
+
+// Apply performs one remap of s onto the target mesh, updating
+// coordinates, masses, density, energy and velocity in place. The
+// phases are timed under "alestep" sub-names to mirror the paper's
+// ALESTEP breakdown.
+func (r *Remapper) Apply(s *hydro.State, tm *timers.Set, hooks *Hooks) error {
+	if tm == nil {
+		tm = timers.NewSet()
+	}
+	if hooks == nil {
+		hooks = &Hooks{}
+	}
+	m := s.Mesh
+	nel, nnd := m.NEl, m.NNd
+
+	// --- ALEGETMESH: choose target coordinates.
+	tm.Start("alegetmesh")
+	switch r.Opt.Mode {
+	case Eulerian:
+		copy(r.xT, m.X) // generated (initial) coordinates
+		copy(r.yT, m.Y)
+	case Smoothed:
+		w := r.Opt.SmoothWeight
+		for n := 0; n < nnd; n++ {
+			if m.BCs[n] != 0 || len(r.ndAdj[n]) == 0 {
+				r.xT[n] = s.X[n]
+				r.yT[n] = s.Y[n]
+				continue
+			}
+			var ax, ay float64
+			for _, nb := range r.ndAdj[n] {
+				ax += s.X[nb]
+				ay += s.Y[nb]
+			}
+			inv := 1 / float64(len(r.ndAdj[n]))
+			r.xT[n] = (1-w)*s.X[n] + w*ax*inv
+			r.yT[n] = (1-w)*s.Y[n] + w*ay*inv
+		}
+	}
+	tm.Stop("alegetmesh")
+
+	// --- Reconstruction gradients (second order).
+	tm.Start("alegetfvol")
+	copy(r.cRho, s.Rho)
+	copy(r.cEin, s.Ein)
+	if r.Opt.FirstOrder {
+		zero(r.gradRX)
+		zero(r.gradRY)
+		zero(r.gradEX)
+		zero(r.gradEY)
+	} else {
+		r.gradients(s, r.cRho, r.gradRX, r.gradRY)
+		r.gradients(s, r.cEin, r.gradEX, r.gradEY)
+	}
+	if hooks.ExchangeCellFields != nil {
+		hooks.ExchangeCellFields(r.cRho, r.cEin, r.gradRX, r.gradRY, r.gradEX, r.gradEY)
+	}
+	tm.Stop("alegetfvol")
+
+	// --- ALEADVECT: sub-face swept-volume fluxes.
+	tm.Start("aleadvect")
+	zero(r.dCMass)
+	zero(r.dEnergy)
+	zero(r.dPx)
+	zero(r.dPy)
+
+	// Internal sub-faces (edge midpoint -> centroid) move mass and
+	// momentum between the corners of one cell.
+	var xo, yo, xn, yn [4]float64
+	for e := 0; e < nel; e++ {
+		nd := &m.ElNd[e]
+		for k := 0; k < 4; k++ {
+			xo[k] = s.X[nd[k]]
+			yo[k] = s.Y[nd[k]]
+			xn[k] = r.xT[nd[k]]
+			yn[k] = r.yT[nd[k]]
+		}
+		cxo, cyo := geom.Centroid(&xo, &yo)
+		cxn, cyn := geom.Centroid(&xn, &yn)
+		for k := 0; k < 4; k++ {
+			kp := (k + 1) & 3
+			// Midpoint of edge k, old and new.
+			mxo := 0.5 * (xo[k] + xo[kp])
+			myo := 0.5 * (yo[k] + yo[kp])
+			mxn := 0.5 * (xn[k] + xn[kp])
+			myn := 0.5 * (yn[k] + yn[kp])
+			// Segment (M_k -> C) is CCW for corner k: gain is the
+			// volume corner k annexes from corner k+1.
+			gain := -sweptArea(mxo, myo, cxo, cyo, mxn, myn, cxn, cyn)
+			if gain == 0 {
+				continue
+			}
+			ex := 0.25 * (mxo + cxo + mxn + cxn)
+			ey := 0.25 * (myo + cyo + myn + cyn)
+			rho := r.reconRho(e, ex, ey, s)
+			mf := gain * rho
+			r.dCMass[4*e+k] += mf
+			r.dCMass[4*e+kp] -= mf
+			// Upwind nodal momentum: donor node is the corner the
+			// mass leaves.
+			donor := nd[kp]
+			if gain < 0 {
+				donor = nd[k]
+			}
+			r.dPx[nd[k]] += mf * s.U[donor]
+			r.dPy[nd[k]] += mf * s.V[donor]
+			r.dPx[nd[kp]] -= mf * s.U[donor]
+			r.dPy[nd[kp]] -= mf * s.V[donor]
+		}
+	}
+
+	// Cell-boundary half-faces move mass and energy between cells
+	// (corners of the same node in adjacent cells, so no momentum
+	// transfer).
+	for _, f := range m.Faces {
+		if f.Right < 0 {
+			continue // wall: no flux
+		}
+		l, rt := f.Left, f.Right
+		n1, n2 := f.N1, f.N2
+		x1o, y1o := s.X[n1], s.Y[n1]
+		x2o, y2o := s.X[n2], s.Y[n2]
+		x1n, y1n := r.xT[n1], r.yT[n1]
+		x2n, y2n := r.xT[n2], r.yT[n2]
+		mxo := 0.5 * (x1o + x2o)
+		myo := 0.5 * (y1o + y2o)
+		mxn := 0.5 * (x1n + x2n)
+		myn := 0.5 * (y1n + y2n)
+		// Half-face (n1 -> M) and (M -> n2), CCW for Left.
+		for half := 0; half < 2; half++ {
+			var axo, ayo, bxo, byo, axn, ayn, bxn, byn float64
+			var node int
+			if half == 0 {
+				axo, ayo, bxo, byo = x1o, y1o, mxo, myo
+				axn, ayn, bxn, byn = x1n, y1n, mxn, myn
+				node = n1
+			} else {
+				axo, ayo, bxo, byo = mxo, myo, x2o, y2o
+				axn, ayn, bxn, byn = mxn, myn, x2n, y2n
+				node = n2
+			}
+			gain := -sweptArea(axo, ayo, bxo, byo, axn, ayn, bxn, byn)
+			if gain == 0 {
+				continue
+			}
+			donor := rt
+			if gain < 0 {
+				donor = l
+			}
+			ex := 0.25 * (axo + bxo + axn + bxn)
+			ey := 0.25 * (ayo + byo + ayn + byn)
+			rho := r.reconRho(donor, ex, ey, s)
+			ein := r.reconEin(donor, ex, ey, s)
+			mf := gain * rho
+			kl := cornerOf(m.ElNd[l], node)
+			kr := cornerOf(m.ElNd[rt], node)
+			r.dCMass[4*l+kl] += mf
+			r.dCMass[4*rt+kr] -= mf
+			r.dEnergy[l] += mf * ein
+			r.dEnergy[rt] -= mf * ein
+		}
+	}
+	tm.Stop("aleadvect")
+
+	// --- ALEUPDATE: apply deltas and rebuild dependent variables.
+	tm.Start("aleupdate")
+	for e := 0; e < nel; e++ {
+		oldMass := s.Mass[e]
+		var newMass float64
+		for k := 0; k < 4; k++ {
+			s.CMass[4*e+k] += r.dCMass[4*e+k]
+			if s.CMass[4*e+k] <= 0 {
+				tm.Stop("aleupdate")
+				return &ErrRemap{Element: e, Corner: k, Mass: s.CMass[4*e+k]}
+			}
+			newMass += s.CMass[4*e+k]
+		}
+		energy := oldMass*s.Ein[e] + r.dEnergy[e]
+		s.Mass[e] = newMass
+		s.Ein[e] = energy / newMass
+	}
+	// Nodal masses and momentum.
+	for n := 0; n < nnd; n++ {
+		px := s.NdMass[n]*s.U[n] + r.dPx[n]
+		py := s.NdMass[n]*s.V[n] + r.dPy[n]
+		r.dPx[n] = px // stash total momentum
+		r.dPy[n] = py
+		s.NdMass[n] = 0
+	}
+	for e := 0; e < nel; e++ {
+		for k := 0; k < 4; k++ {
+			s.NdMass[m.ElNd[e][k]] += s.CMass[4*e+k]
+		}
+	}
+	for n := 0; n < nnd; n++ {
+		if s.NdMass[n] <= 0 {
+			tm.Stop("aleupdate")
+			return &ErrRemap{Element: -1, Corner: n, Mass: s.NdMass[n]}
+		}
+		s.U[n] = r.dPx[n] / s.NdMass[n]
+		s.V[n] = r.dPy[n] / s.NdMass[n]
+		bc := m.BCs[n]
+		if bc&mesh.FixU != 0 {
+			s.U[n] = 0
+		}
+		if bc&mesh.FixV != 0 {
+			s.V[n] = 0
+		}
+	}
+	// Move onto the target mesh; rebuild volumes, density, EoS.
+	copy(s.X, r.xT)
+	copy(s.Y, r.yT)
+	var x, y [4]float64
+	for e := 0; e < nel; e++ {
+		for k := 0; k < 4; k++ {
+			x[k] = s.X[m.ElNd[e][k]]
+			y[k] = s.Y[m.ElNd[e][k]]
+		}
+		v := geom.Area(&x, &y)
+		if v <= 0 {
+			tm.Stop("aleupdate")
+			return &ErrRemap{Element: e, Corner: -1, Mass: v}
+		}
+		s.Vol[e] = v
+		s.Rho[e] = s.Mass[e] / v
+	}
+	s.GetPC(0, m.NOwnEl)
+	tm.Stop("aleupdate")
+	return nil
+}
+
+// ExchangeScratch performs (only) the cell-field exchange of Apply with
+// the remapper's current scratch contents. Distributed drivers use it
+// to keep the communication schedule symmetric when a rank must skip a
+// remap its peers are still performing.
+func (r *Remapper) ExchangeScratch(hooks *Hooks) {
+	if hooks != nil && hooks.ExchangeCellFields != nil {
+		hooks.ExchangeCellFields(r.cRho, r.cEin, r.gradRX, r.gradRY, r.gradEX, r.gradEY)
+	}
+}
+
+// sweptArea returns the shoelace area of the quad (aOld, bOld, bNew,
+// aNew) traced by segment a->b moving from old to new positions.
+func sweptArea(axo, ayo, bxo, byo, axn, ayn, bxn, byn float64) float64 {
+	// Shoelace over (axo,ayo) (bxo,byo) (bxn,byn) (axn,ayn).
+	return 0.5 * ((bxn-axo)*(ayn-byo) - (axn-bxo)*(byn-ayo))
+}
+
+// cornerOf returns which corner of elNd holds node n.
+func cornerOf(elNd [4]int, n int) int {
+	for k := 0; k < 4; k++ {
+		if elNd[k] == n {
+			return k
+		}
+	}
+	panic("ale: node is not a corner of element")
+}
+
+// reconRho evaluates the limited linear density reconstruction of cell
+// e at point (px, py).
+func (r *Remapper) reconRho(e int, px, py float64, s *hydro.State) float64 {
+	cx, cy := cellCentroid(s, e)
+	v := r.cRho[e] + r.gradRX[e]*(px-cx) + r.gradRY[e]*(py-cy)
+	if v <= 0 {
+		return r.cRho[e]
+	}
+	return v
+}
+
+// reconEin evaluates the limited linear energy reconstruction of cell
+// e at point (px, py).
+func (r *Remapper) reconEin(e int, px, py float64, s *hydro.State) float64 {
+	cx, cy := cellCentroid(s, e)
+	return r.cEin[e] + r.gradEX[e]*(px-cx) + r.gradEY[e]*(py-cy)
+}
+
+func cellCentroid(s *hydro.State, e int) (float64, float64) {
+	nd := &s.Mesh.ElNd[e]
+	return 0.25 * (s.X[nd[0]] + s.X[nd[1]] + s.X[nd[2]] + s.X[nd[3]]),
+		0.25 * (s.Y[nd[0]] + s.Y[nd[1]] + s.Y[nd[2]] + s.Y[nd[3]])
+}
+
+// gradients fills (gx, gy) with least-squares cell gradients of phi
+// over face neighbours, limited Barth-Jespersen style so reconstructed
+// face-centroid values stay within the neighbour min/max (the
+// monotonicity-enforcing limiter the paper cites via van Leer).
+func (r *Remapper) gradients(s *hydro.State, phi, gx, gy []float64) {
+	m := s.Mesh
+	for e := 0; e < m.NEl; e++ {
+		cx, cy := cellCentroid(s, e)
+		// Least squares normal equations.
+		var sxx, sxy, syy, sxp, syp float64
+		min, max := phi[e], phi[e]
+		nNb := 0
+		for k := 0; k < 4; k++ {
+			nb := m.ElEl[e][k]
+			if nb < 0 {
+				continue
+			}
+			nNb++
+			nx, ny := cellCentroid(s, nb)
+			dx, dy := nx-cx, ny-cy
+			dp := phi[nb] - phi[e]
+			sxx += dx * dx
+			sxy += dx * dy
+			syy += dy * dy
+			sxp += dx * dp
+			syp += dy * dp
+			if phi[nb] < min {
+				min = phi[nb]
+			}
+			if phi[nb] > max {
+				max = phi[nb]
+			}
+		}
+		det := sxx*syy - sxy*sxy
+		if nNb < 2 || math.Abs(det) < 1e-300 {
+			gx[e], gy[e] = 0, 0
+			continue
+		}
+		gxe := (sxp*syy - syp*sxy) / det
+		gye := (syp*sxx - sxp*sxy) / det
+		// Barth-Jespersen limiting at edge midpoints.
+		alpha := 1.0
+		nd := &m.ElNd[e]
+		for k := 0; k < 4; k++ {
+			kp := (k + 1) & 3
+			fx := 0.5*(s.X[nd[k]]+s.X[nd[kp]]) - cx
+			fy := 0.5*(s.Y[nd[k]]+s.Y[nd[kp]]) - cy
+			d := gxe*fx + gye*fy
+			var a float64
+			switch {
+			case d > 0:
+				a = (max - phi[e]) / d
+			case d < 0:
+				a = (min - phi[e]) / d
+			default:
+				continue
+			}
+			if a < alpha {
+				alpha = a
+			}
+		}
+		if alpha < 0 {
+			alpha = 0
+		}
+		gx[e] = alpha * gxe
+		gy[e] = alpha * gye
+	}
+}
+
+func zero(a []float64) {
+	for i := range a {
+		a[i] = 0
+	}
+}

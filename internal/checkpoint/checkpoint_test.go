@@ -1,0 +1,128 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"bookleaf/internal/setup"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p, err := setup.Sod(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := Capture(s, "sod", 32, 2)
+
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := p.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Restore(s2, "sod", 32, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Time != s.Time || s2.StepCount != s.StepCount || s2.DtPrev != s.DtPrev {
+		t.Fatalf("clock mismatch after restore: %v/%d vs %v/%d", s2.Time, s2.StepCount, s.Time, s.StepCount)
+	}
+	for e := range s.Rho {
+		if s2.Rho[e] != s.Rho[e] || s2.Ein[e] != s.Ein[e] {
+			t.Fatalf("element %d state mismatch", e)
+		}
+	}
+	for n := range s.U {
+		if s2.U[n] != s.U[n] || s2.X[n] != s.X[n] {
+			t.Fatalf("node %d state mismatch", n)
+		}
+	}
+}
+
+func TestResumeBitwiseIdentical(t *testing.T) {
+	p1, _ := setup.Sod(48, 2)
+	continuous, _ := p1.NewState()
+	for i := 0; i < 60; i++ {
+		if _, err := continuous.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p2, _ := setup.Sod(48, 2)
+	first, _ := p2.NewState()
+	for i := 0; i < 25; i++ {
+		if _, err := first.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Capture(first, "sod", 48, 2).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p3, _ := setup.Sod(48, 2)
+	resumed, _ := p3.NewState()
+	snap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Restore(resumed, "sod", 48, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 35; i++ {
+		if _, err := resumed.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if resumed.Time != continuous.Time || resumed.StepCount != continuous.StepCount {
+		t.Fatalf("clock diverged: %v/%d vs %v/%d", resumed.Time, resumed.StepCount, continuous.Time, continuous.StepCount)
+	}
+	for e := range continuous.Rho {
+		if resumed.Rho[e] != continuous.Rho[e] {
+			t.Fatalf("resume not bitwise identical at element %d: %v vs %v", e, resumed.Rho[e], continuous.Rho[e])
+		}
+	}
+	for n := range continuous.U {
+		if resumed.U[n] != continuous.U[n] || resumed.X[n] != continuous.X[n] {
+			t.Fatalf("resume not bitwise identical at node %d", n)
+		}
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	p, _ := setup.Sod(16, 2)
+	s, _ := p.NewState()
+	snap := Capture(s, "sod", 16, 2)
+	if err := snap.Restore(s, "noh", 16, 2); err == nil {
+		t.Fatal("problem mismatch accepted")
+	}
+	if err := snap.Restore(s, "sod", 20, 2); err == nil {
+		t.Fatal("resolution mismatch accepted")
+	}
+	snap.Version = 99
+	if err := snap.Restore(s, "sod", 16, 2); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadGarbageFails(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

@@ -1,0 +1,155 @@
+// Package geom implements the bilinear isoparametric quadrilateral
+// geometry used by BookLeaf's spatial discretisation: signed areas,
+// centroids, the area-gradient "basis" vectors that drive the compatible
+// corner forces, characteristic length scales for the CFL condition, and
+// the four sub-zonal (corner) volumes that the Caramana hourglass
+// control and the momentum remap are built on.
+//
+// Nodes of a quad are numbered 0..3 counter-clockwise; edge k joins node
+// k to node (k+1) mod 4. All functions take coordinates as two 4-arrays
+// so callers can gather from SoA mesh storage without allocation.
+package geom
+
+import "math"
+
+// Area returns the signed area of the quad (positive for CCW node
+// ordering) by the shoelace formula, which is exact for the bilinear
+// element.
+func Area(x, y *[4]float64) float64 {
+	return 0.5 * ((x[2]-x[0])*(y[3]-y[1]) - (x[3]-x[1])*(y[2]-y[0]))
+}
+
+// Centroid returns the vertex-average centre of the quad. BookLeaf uses
+// the vertex average (not the area centroid) for sub-zone construction.
+func Centroid(x, y *[4]float64) (cx, cy float64) {
+	return 0.25 * (x[0] + x[1] + x[2] + x[3]), 0.25 * (y[0] + y[1] + y[2] + y[3])
+}
+
+// BasisGrad fills ax, ay with the gradients of the element area with
+// respect to each node position:
+//
+//	ax[k] = ∂A/∂x_k = (y_{k+1} - y_{k-1}) / 2
+//	ay[k] = ∂A/∂y_k = (x_{k-1} - x_{k+1}) / 2
+//
+// These vectors satisfy dA/dt = Σ_k (ax[k] u_k + ay[k] v_k) for nodal
+// velocities (u, v) and sum to zero over k (translation invariance), so
+// the pressure corner forces F_k = (P+q)(ax[k], ay[k]) built on them
+// exactly balance and conserve momentum.
+func BasisGrad(x, y *[4]float64, ax, ay *[4]float64) {
+	for k := 0; k < 4; k++ {
+		kp := (k + 1) & 3
+		km := (k + 3) & 3
+		ax[k] = 0.5 * (y[kp] - y[km])
+		ay[k] = 0.5 * (x[km] - x[kp])
+	}
+}
+
+// SideLengths fills l with the four edge lengths.
+func SideLengths(x, y *[4]float64, l *[4]float64) {
+	for k := 0; k < 4; k++ {
+		kp := (k + 1) & 3
+		dx := x[kp] - x[k]
+		dy := y[kp] - y[k]
+		l[k] = math.Hypot(dx, dy)
+	}
+}
+
+// MinLength returns the characteristic length scale used by the CFL
+// condition: the smaller of (a) the two distances between midpoints of
+// opposite edges and (b) the area divided by the longest edge. For a
+// rectangle this is the shorter side. Term (b) is what keeps thin or
+// nearly-degenerate quads stable: their midpoint distances stay finite
+// while the true acoustic transit scale collapses with the area, and a
+// CFL timestep based on midpoints alone lets the explicit update blow
+// up before the timestep control can react.
+func MinLength(x, y *[4]float64) float64 {
+	// Midpoint of edge k.
+	mx := [4]float64{}
+	my := [4]float64{}
+	for k := 0; k < 4; k++ {
+		kp := (k + 1) & 3
+		mx[k] = 0.5 * (x[k] + x[kp])
+		my[k] = 0.5 * (y[k] + y[kp])
+	}
+	d02 := math.Hypot(mx[2]-mx[0], my[2]-my[0])
+	d13 := math.Hypot(mx[3]-mx[1], my[3]-my[1])
+	l := d02
+	if d13 < l {
+		l = d13
+	}
+	var side [4]float64
+	SideLengths(x, y, &side)
+	longest := side[0]
+	for k := 1; k < 4; k++ {
+		if side[k] > longest {
+			longest = side[k]
+		}
+	}
+	if longest > 0 {
+		if thin := Area(x, y) / longest; thin > 0 && thin < l {
+			l = thin
+		}
+	}
+	return l
+}
+
+// SubVolumes fills sv with the four corner sub-zone areas. Corner k is
+// the quad (node k, midpoint of edge k, centroid, midpoint of edge k-1);
+// the four corners exactly tile the element, so sum(sv) == Area to
+// round-off. Negative sub-volumes indicate a tangled (non-convex past
+// the diagonal) element.
+func SubVolumes(x, y *[4]float64, sv *[4]float64) {
+	cx, cy := Centroid(x, y)
+	var mx, my [4]float64
+	for k := 0; k < 4; k++ {
+		kp := (k + 1) & 3
+		mx[k] = 0.5 * (x[k] + x[kp])
+		my[k] = 0.5 * (y[k] + y[kp])
+	}
+	for k := 0; k < 4; k++ {
+		km := (k + 3) & 3
+		// Quad: node k -> mid edge k -> centroid -> mid edge k-1.
+		qx := [4]float64{x[k], mx[k], cx, mx[km]}
+		qy := [4]float64{y[k], my[k], cy, my[km]}
+		sv[k] = Area(&qx, &qy)
+	}
+}
+
+// Tangled reports whether the quad is degenerate or inverted: the total
+// area or any corner sub-volume is not strictly positive.
+func Tangled(x, y *[4]float64) bool {
+	if Area(x, y) <= 0 {
+		return true
+	}
+	var sv [4]float64
+	SubVolumes(x, y, &sv)
+	for k := 0; k < 4; k++ {
+		if sv[k] <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HourglassVector is the zero-energy mode pattern Γ = (+1,-1,+1,-1) for
+// the bilinear quad. A nodal field proportional to Γ changes no element
+// area (it is orthogonal to the basis gradients on a parallelogram) yet
+// distorts the element — the "hourglass" mode the paper's filters
+// suppress.
+var HourglassVector = [4]float64{1, -1, 1, -1}
+
+// Divergence returns the discrete velocity divergence of the element,
+// (dA/dt)/A, given nodal velocities. Returns 0 for degenerate area.
+func Divergence(x, y *[4]float64, u, v *[4]float64) float64 {
+	a := Area(x, y)
+	if a <= 0 {
+		return 0
+	}
+	var ax, ay [4]float64
+	BasisGrad(x, y, &ax, &ay)
+	var dAdt float64
+	for k := 0; k < 4; k++ {
+		dAdt += ax[k]*u[k] + ay[k]*v[k]
+	}
+	return dAdt / a
+}

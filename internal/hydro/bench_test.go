@@ -1,0 +1,107 @@
+package hydro
+
+import (
+	"fmt"
+	"testing"
+
+	"bookleaf/internal/eos"
+	"bookleaf/internal/mesh"
+	"bookleaf/internal/par"
+)
+
+func benchState(b *testing.B, n, threads int) *State {
+	b.Helper()
+	m, err := mesh.Rect(mesh.RectSpec{NX: n, NY: n, X0: 0, X1: 1, Y0: 0, Y1: 1, Walls: mesh.DefaultWalls()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := eos.NewIdealGas(1.4)
+	opt := DefaultOptions(g)
+	rho := make([]float64, m.NEl)
+	ein := make([]float64, m.NEl)
+	for e := range rho {
+		rho[e] = 1
+		ein[e] = 0.1 + 0.001*float64(e%13)
+	}
+	s, err := NewState(m, opt, rho, ein)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Pool = par.New(threads)
+	// Develop a flow so kernels do real work.
+	for n := range s.U {
+		s.U[n] = -0.1 * (s.X[n] - 0.5)
+		s.V[n] = -0.1 * (s.Y[n] - 0.5)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Step(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	copy(s.U0, s.U)
+	copy(s.V0, s.V)
+	copy(s.Ein0, s.Ein)
+	copy(s.X0, s.X)
+	copy(s.Y0, s.Y)
+	return s
+}
+
+func BenchmarkGetQ(b *testing.B) {
+	s := benchState(b, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GetQ(0, s.Mesh.NEl)
+	}
+}
+
+func BenchmarkGetForcePerHourglass(b *testing.B) {
+	for _, hg := range []HourglassControl{HGNone, HGFilter, HGSubzonal} {
+		b.Run(hg.String(), func(b *testing.B) {
+			s := benchState(b, 64, 1)
+			s.Opt.Hourglass = hg
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.GetForce(0, s.Mesh.NEl, s.U0, s.V0)
+			}
+		})
+	}
+}
+
+func BenchmarkGetAccScatterVsGather(b *testing.B) {
+	for _, gather := range []bool{false, true} {
+		name := "scatter"
+		if gather {
+			name = "gather"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := benchState(b, 64, 1)
+			s.Opt.GatherAcc = gather
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.GetAcc(1e-7)
+			}
+		})
+	}
+}
+
+func BenchmarkStepThreads(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
+			s := benchState(b, 96, threads)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Step(nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGetDt(b *testing.B) {
+	s := benchState(b, 96, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GetDt()
+	}
+}

@@ -1,0 +1,458 @@
+package hydro
+
+import (
+	"math"
+
+	"bookleaf/internal/geom"
+	"bookleaf/internal/mesh"
+)
+
+// GetDt computes the stable timestep over owned elements and the
+// element controlling it. It applies, in order: the CFL sound-speed
+// condition (with the viscosity correction 2q/rho in the signal speed),
+// the volume-change (divergence) limit, the growth cap relative to the
+// previous step, and DtMax. In a distributed run the caller reduces
+// (dt, element) globally with MINLOC, exactly as the paper's single
+// global reduction.
+func (s *State) GetDt() (dt float64, controller int) {
+	nel := s.Mesh.NOwnEl
+	// CFL condition: dt_e = CFL * L / sqrt(c² + 2q/rho). Computed via
+	// an explicit parallel min-reduction — the expanded MINVAL/MINLOC
+	// loop the paper describes.
+	cflMin, cflArg := s.Pool.ReduceMin(nel, func(e int) float64 {
+		var x, y [4]float64
+		s.gatherCoords(e, &x, &y)
+		l := geom.MinLength(&x, &y)
+		sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
+		if sig2 <= 0 {
+			return math.Inf(1)
+		}
+		return s.Opt.CFL * l / math.Sqrt(sig2)
+	})
+	// Divergence condition: dt_e = DivSafety / |div u|.
+	divMin, divArg := s.Pool.ReduceMin(nel, func(e int) float64 {
+		var x, y, u, v [4]float64
+		s.gatherCoords(e, &x, &y)
+		s.gatherVel(e, s.U, s.V, &u, &v)
+		d := math.Abs(geom.Divergence(&x, &y, &u, &v))
+		if d == 0 {
+			return math.Inf(1)
+		}
+		return s.Opt.DivSafety / d
+	})
+	dt, controller = cflMin, cflArg
+	if divMin < dt {
+		dt, controller = divMin, divArg
+	}
+	if g := s.Opt.DtGrowth * s.DtPrev; g < dt {
+		dt, controller = g, -1
+	}
+	if s.Opt.DtMax < dt {
+		dt, controller = s.Opt.DtMax, -1
+	}
+	return dt, controller
+}
+
+// GetQ computes the edge-centred artificial viscosity of elements
+// [lo, hi) following Caramana et al.: each compressive edge contributes
+// a quadratic + linear term scaled by a monotonic limiter built from
+// velocity-difference ratios against the neighbouring element across
+// the edge and the element's own opposite edge. The element q is the
+// mean of its edge contributions. This is the most expensive kernel in
+// BookLeaf (~70% of flat-MPI runtime in the paper's Table II): per
+// element it gathers two neighbour rings, takes square roots and
+// evaluates limiters.
+func (s *State) GetQ(lo, hi int) {
+	m := s.Mesh
+	cq1, cq2 := s.Opt.CQ1, s.Opt.CQ2
+	s.Pool.For(hi-lo, func(plo, phi int) {
+		var x, y, u, v [4]float64
+		var nu, nv [4]float64
+		for e := lo + plo; e < lo+phi; e++ {
+			s.gatherCoords(e, &x, &y)
+			s.gatherVel(e, s.U, s.V, &u, &v)
+			rho := s.Rho[e]
+			cs := math.Sqrt(s.Csq[e])
+			var qsum float64
+			for k := 0; k < 4; k++ {
+				kp := (k + 1) & 3
+				dux := u[kp] - u[k]
+				duy := v[kp] - v[k]
+				dxx := x[kp] - x[k]
+				dxy := y[kp] - y[k]
+				// Only compressive edges (shortening) contribute.
+				if dux*dxx+duy*dxy >= 0 {
+					s.QEdge[4*e+k] = 0
+					continue
+				}
+				du2 := dux*dux + duy*duy
+				if du2 == 0 {
+					s.QEdge[4*e+k] = 0
+					continue
+				}
+				du := math.Sqrt(du2)
+				// Limiter: ratios of the projections of the
+				// cross-edge velocity differences onto this edge's,
+				// from (a) the neighbour across this edge and (b)
+				// this element's own opposite edge. Smooth fields
+				// give ratios near 1 (q off); extrema give negative
+				// ratios (full q). At boundaries only the one-sided
+				// (own-edge) ratio is available — using it keeps
+				// smoothly compressing boundary cells viscosity-free
+				// (a hard zero there seeds spurious boundary jets in
+				// cold converging flow).
+				// Own opposite edge, negated for orientation.
+				ko2 := (k + 2) & 3
+				ko2p := (ko2 + 1) & 3
+				odux := -(u[ko2p] - u[ko2])
+				oduy := -(v[ko2p] - v[ko2])
+				r := (odux*dux + oduy*duy) / du2
+				if nb := m.ElEl[e][k]; nb >= 0 {
+					s.gatherVel(nb, s.U, s.V, &nu, &nv)
+					// Neighbour's matching edge: the side of nb
+					// facing e, traversed in nb's CCW order, runs
+					// opposite to ours; its opposite edge (k'+2)
+					// runs parallel to ours again after negation.
+					kk := s.sideFacing(nb, e)
+					ko := (kk + 2) & 3
+					kop := (ko + 1) & 3
+					ndux := -(nu[kop] - nu[ko])
+					nduy := -(nv[kop] - nv[ko])
+					rNb := (ndux*dux + nduy*duy) / du2
+					r = math.Min(rNb, r)
+				}
+				psi := 0.0
+				if r > 0 {
+					psi = math.Min(1, r)
+				}
+				qEdge := (1 - psi) * rho * (cq2*du2 + cq1*cs*du)
+				qsum += qEdge
+				// Damper coefficient: force = QEdge * Δu along the
+				// edge pair, i.e. an edge pressure q acting over the
+				// edge length.
+				edgeLen := math.Hypot(dxx, dxy)
+				s.QEdge[4*e+k] = qEdge * edgeLen / du
+			}
+			s.Q[e] = 0.25 * qsum
+		}
+	})
+}
+
+// sideFacing returns the side index of element nb that borders element e.
+func (s *State) sideFacing(nb, e int) int {
+	for kk := 0; kk < 4; kk++ {
+		if s.Mesh.ElEl[nb][kk] == e {
+			return kk
+		}
+	}
+	// Ghost-edge inconsistency would be a partitioning bug.
+	panic("hydro: element adjacency not symmetric")
+}
+
+// GetForce assembles corner forces for elements [lo, hi): the
+// compatible pressure + viscosity force (P+q)·∇A plus the selected
+// hourglass-control force. uArr, vArr supply the velocity field the
+// hourglass terms act on.
+func (s *State) GetForce(lo, hi int, uArr, vArr []float64) {
+	s.Pool.For(hi-lo, func(plo, phi int) {
+		var x, y, u, v [4]float64
+		var ax, ay [4]float64
+		var sv [4]float64
+		for e := lo + plo; e < lo+phi; e++ {
+			s.gatherCoords(e, &x, &y)
+			geom.BasisGrad(&x, &y, &ax, &ay)
+			pq := s.P[e] + s.Q[e]
+			base := 4 * e
+			for k := 0; k < 4; k++ {
+				s.FX[base+k] = pq * ax[k]
+				s.FY[base+k] = pq * ay[k]
+			}
+			s.gatherVel(e, uArr, vArr, &u, &v)
+			if s.Opt.EdgeQForces {
+				// Ablation: apply the viscosity as equal-and-opposite
+				// dampers along each compressing edge instead of the
+				// isotropic contribution above (subtract it back).
+				for k := 0; k < 4; k++ {
+					s.FX[base+k] -= s.Q[e] * ax[k]
+					s.FY[base+k] -= s.Q[e] * ay[k]
+				}
+				for k := 0; k < 4; k++ {
+					kappa := s.QEdge[base+k]
+					if kappa == 0 {
+						continue
+					}
+					kp := (k + 1) & 3
+					fx := kappa * (u[kp] - u[k])
+					fy := kappa * (v[kp] - v[k])
+					s.FX[base+k] += fx
+					s.FY[base+k] += fy
+					s.FX[base+kp] -= fx
+					s.FY[base+kp] -= fy
+				}
+			}
+			switch s.Opt.Hourglass {
+			case HGFilter:
+				// Hancock-style viscous filter: damp the velocity
+				// component along the hourglass pattern Γ.
+				var hu, hv float64
+				for k := 0; k < 4; k++ {
+					hu += geom.HourglassVector[k] * u[k]
+					hv += geom.HourglassVector[k] * v[k]
+				}
+				hu *= 0.25
+				hv *= 0.25
+				area := s.Vol[e]
+				coef := s.Opt.HGKappa * s.Rho[e] * (math.Sqrt(s.Csq[e]) + math.Sqrt(hu*hu+hv*hv)) * math.Sqrt(area)
+				for k := 0; k < 4; k++ {
+					s.FX[base+k] -= coef * hu * geom.HourglassVector[k]
+					s.FY[base+k] -= coef * hv * geom.HourglassVector[k]
+				}
+			case HGSubzonal:
+				// Caramana sub-zonal pressures: each corner carries a
+				// pressure perturbation dp = c²·(ρ_corner - ρ) from
+				// its fixed sub-zonal mass and current sub-zone
+				// volume, and exerts dp·∇(sub-zone volume) on every
+				// node of the element — the exact force of Caramana &
+				// Shashkov's formulation, which resists hourglass and
+				// sliver distortions that leave the total element
+				// volume unchanged. Momentum conserving by
+				// construction (each ∇ sums to zero over nodes).
+				geom.SubVolumes(&x, &y, &sv)
+				cx, cy := geom.Centroid(&x, &y)
+				var mx, my [4]float64
+				for k := 0; k < 4; k++ {
+					kp := (k + 1) & 3
+					mx[k] = 0.5 * (x[k] + x[kp])
+					my[k] = 0.5 * (y[k] + y[kp])
+				}
+				// Floor crushed corners: a corner at (or through)
+				// zero volume feels the maximal restoring pressure.
+				svFloor := 0.01 * s.Vol[e]
+				// Stiffness scales with the full signal speed —
+				// including the viscous 2q/ρ term — so sub-zonal
+				// pressures keep restoring shape in cold shocked gas
+				// where the bare sound speed vanishes.
+				sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
+				for k := 0; k < 4; k++ {
+					svk := sv[k]
+					if svk < svFloor {
+						svk = svFloor
+					}
+					dp := s.Opt.HGSubMerit * sig2 * (s.CMass[base+k]/svk - s.Rho[e])
+					if dp == 0 {
+						continue
+					}
+					kp := (k + 1) & 3
+					km := (k + 3) & 3
+					ko := (k + 2) & 3
+					// Sub-zone quad: node k, edge-k midpoint,
+					// centroid, edge-(k-1) midpoint.
+					qx := [4]float64{x[k], mx[k], cx, mx[km]}
+					qy := [4]float64{y[k], my[k], cy, my[km]}
+					var bx, by [4]float64
+					geom.BasisGrad(&qx, &qy, &bx, &by)
+					// Chain rule: midpoints couple to their two edge
+					// nodes with weight 1/2, the centroid to all four
+					// with weight 1/4.
+					s.FX[base+k] += dp * (bx[0] + 0.5*(bx[1]+bx[3]) + 0.25*bx[2])
+					s.FY[base+k] += dp * (by[0] + 0.5*(by[1]+by[3]) + 0.25*by[2])
+					s.FX[base+kp] += dp * (0.5*bx[1] + 0.25*bx[2])
+					s.FY[base+kp] += dp * (0.5*by[1] + 0.25*by[2])
+					s.FX[base+km] += dp * (0.5*bx[3] + 0.25*bx[2])
+					s.FY[base+km] += dp * (0.5*by[3] + 0.25*by[2])
+					s.FX[base+ko] += dp * 0.25 * bx[2]
+					s.FY[base+ko] += dp * 0.25 * by[2]
+				}
+			}
+		}
+	})
+}
+
+// GetAcc is the acceleration calculation: corner forces are scattered
+// to nodes, divided by nodal mass, boundary conditions applied, and
+// velocities advanced by dt; UBar receives the time-centred velocity.
+//
+// The scatter phase reproduces the reference implementation's data
+// dependency: multiple elements update the same node, so with
+// Options.GatherAcc false it always runs on one thread regardless of
+// the pool ("it has currently been left unchanged, adversely affecting
+// OpenMP performance" — the paper). GatherAcc true switches to the
+// race-free per-node gather for the ablation study.
+func (s *State) GetAcc(dt float64) {
+	m := s.Mesh
+	nnd := m.NOwnNd
+	if s.Opt.GatherAcc {
+		// Race-free formulation: each node gathers from its CSR ring.
+		s.Pool.For(nnd, func(lo, hi int) {
+			for n := lo; n < hi; n++ {
+				var fx, fy float64
+				els, corners := m.ElementsAround(n)
+				for i, e := range els {
+					fx += s.FX[4*e+corners[i]]
+					fy += s.FY[4*e+corners[i]]
+				}
+				s.applyAccel(n, fx, fy, dt)
+			}
+		})
+		return
+	}
+	// Reference scatter formulation over all local elements (ghost
+	// corner forces included so owned-node sums are complete).
+	fxn, fyn := s.fxnd, s.fynd
+	for n := range fxn {
+		fxn[n] = 0
+		fyn[n] = 0
+	}
+	s.Pool.Serial(m.NEl, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			nd := &m.ElNd[e]
+			base := 4 * e
+			for k := 0; k < 4; k++ {
+				fxn[nd[k]] += s.FX[base+k]
+				fyn[nd[k]] += s.FY[base+k]
+			}
+		}
+	})
+	s.Pool.For(nnd, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			s.applyAccel(n, fxn[n], fyn[n], dt)
+		}
+	})
+}
+
+// applyAccel advances node n by force (fx, fy) over dt with boundary
+// conditions, filling U, V and UBar, VBar.
+func (s *State) applyAccel(n int, fx, fy, dt float64) {
+	bc := s.Mesh.BCs[n]
+	if bc&mesh.Piston != 0 {
+		// Prescribed wall: velocity pinned; work done on the gas is
+		// accounted by Step via ExternalWork.
+		s.U[n] = s.PistonU
+		s.V[n] = s.PistonV
+		s.UBar[n] = s.PistonU
+		s.VBar[n] = s.PistonV
+		return
+	}
+	if bc&mesh.FrozenVel != 0 {
+		// Far-field inflow: velocity frozen at its current value.
+		s.U[n] = s.U0[n]
+		s.V[n] = s.V0[n]
+		s.UBar[n] = s.U0[n]
+		s.VBar[n] = s.V0[n]
+		return
+	}
+	ax := fx / s.NdMass[n]
+	ay := fy / s.NdMass[n]
+	if bc&mesh.FixU != 0 {
+		ax = 0
+		s.U[n] = 0
+		s.U0[n] = 0
+	}
+	if bc&mesh.FixV != 0 {
+		ay = 0
+		s.V[n] = 0
+		s.V0[n] = 0
+	}
+	u1 := s.U0[n] + dt*ax
+	v1 := s.V0[n] + dt*ay
+	s.U[n] = u1
+	s.V[n] = v1
+	s.UBar[n] = 0.5 * (s.U0[n] + u1)
+	s.VBar[n] = 0.5 * (s.V0[n] + v1)
+}
+
+// GetGeom moves nodes [0, nnd) to x0 + dt*u and recomputes the volumes
+// of elements [lo, hi), returning an ErrTangled if any element inverts.
+func (s *State) GetGeom(dt float64, uArr, vArr []float64, lo, hi int) error {
+	nnd := s.Mesh.NNd
+	s.Pool.For(nnd, func(plo, phi int) {
+		for n := plo; n < phi; n++ {
+			s.X[n] = s.X0[n] + dt*uArr[n]
+			s.Y[n] = s.Y0[n] + dt*vArr[n]
+		}
+	})
+	var firstErr error
+	s.Pool.For(hi-lo, func(plo, phi int) {
+		var x, y [4]float64
+		for e := lo + plo; e < lo+phi; e++ {
+			s.gatherCoords(e, &x, &y)
+			v := geom.Area(&x, &y)
+			s.Vol[e] = v
+		}
+	})
+	for e := lo; e < hi; e++ {
+		if s.Vol[e] <= 0 {
+			firstErr = &ErrTangled{Element: e, Volume: s.Vol[e]}
+			break
+		}
+	}
+	return firstErr
+}
+
+// GetRho recomputes density of elements [lo, hi) from fixed mass and
+// current volume — exact mass conservation by construction.
+func (s *State) GetRho(lo, hi int) {
+	s.Pool.For(hi-lo, func(plo, phi int) {
+		for e := lo + plo; e < lo+phi; e++ {
+			s.Rho[e] = s.Mass[e] / s.Vol[e]
+		}
+	})
+}
+
+// GetEin performs the compatible internal-energy update for elements
+// [lo, hi): de = -dt · ΣF·u / m with the full corner forces and the
+// given nodal velocities. Together with the same forces accelerating
+// the nodes this conserves total energy to round-off.
+//
+// The update floors the energy at zero: an explicit step can overshoot
+// the adiabatic cooling of a cold expanding cell past e = 0, and the
+// resulting negative pressure puts the cell in unphysical tension that
+// implodes it (tested failure mode on Noh). The energy the floor adds
+// is returned; the step driver accumulates the corrector's (full-step)
+// amount into FloorEnergy so conservation audits stay closed — it is
+// identically zero on well-resolved problems.
+func (s *State) GetEin(dt float64, uArr, vArr []float64, lo, hi int) float64 {
+	m := s.Mesh
+	mats := s.Opt.Materials
+	floors := make([]float64, s.Pool.NumChunks(hi-lo))
+	s.Pool.ForChunks(hi-lo, func(chunk, plo, phi int) {
+		var added float64
+		for e := lo + plo; e < lo+phi; e++ {
+			nd := &m.ElNd[e]
+			base := 4 * e
+			var w float64
+			for k := 0; k < 4; k++ {
+				w += s.FX[base+k]*uArr[nd[k]] + s.FY[base+k]*vArr[nd[k]]
+			}
+			ein := s.Ein0[e] - dt*w/s.Mass[e]
+			// Floor only energy-dependent materials: for barotropic
+			// forms (Tait, void) a negative tracked energy is elastic
+			// bookkeeping, not a pressure pathology.
+			if ein < 0 && mats[m.Region[e]].EnergyDependent() {
+				added += -ein * s.Mass[e]
+				ein = 0
+			}
+			s.Ein[e] = ein
+		}
+		floors[chunk] = added
+	})
+	var total float64
+	for _, a := range floors {
+		total += a
+	}
+	return total
+}
+
+// GetPC evaluates the equation of state of elements [lo, hi): pressure
+// and squared sound speed from density and internal energy.
+func (s *State) GetPC(lo, hi int) {
+	mats := s.Opt.Materials
+	reg := s.Mesh.Region
+	s.Pool.For(hi-lo, func(plo, phi int) {
+		for e := lo + plo; e < lo+phi; e++ {
+			mat := mats[reg[e]]
+			s.P[e] = mat.Pressure(s.Rho[e], s.Ein[e])
+			s.Csq[e] = mat.SoundSpeed2(s.Rho[e], s.Ein[e])
+		}
+	})
+}

@@ -1,0 +1,238 @@
+// Package hydro implements BookLeaf's Lagrangian hydrodynamics step:
+// the staggered-mesh compatible finite-element discretisation of
+// Euler's equations with predictor-corrector time integration,
+// edge-centred artificial viscosity, and hourglass control. Kernel
+// decomposition follows the paper's Algorithm 1 — getdt, getq,
+// getforce, getacc, getgeom, getrho, getein, getpc — so per-kernel
+// timings map one-to-one onto the paper's Table II.
+package hydro
+
+import (
+	"fmt"
+
+	"bookleaf/internal/geom"
+	"bookleaf/internal/mesh"
+	"bookleaf/internal/par"
+)
+
+// ErrTangled reports a non-positive element volume (mesh tangling).
+type ErrTangled struct {
+	Element int
+	Volume  float64
+}
+
+func (e *ErrTangled) Error() string {
+	return fmt.Sprintf("hydro: element %d tangled (volume %v)", e.Element, e.Volume)
+}
+
+// ErrDtCollapse reports a stable timestep below Options.DtMin.
+type ErrDtCollapse struct {
+	Dt      float64
+	Element int
+}
+
+func (e *ErrDtCollapse) Error() string {
+	return fmt.Sprintf("hydro: timestep %v collapsed below minimum (element %d)", e.Dt, e.Element)
+}
+
+// State holds the evolving hydrodynamic state on a (possibly local,
+// ghost-bearing) mesh. Storage is SoA: element arrays have length NEl,
+// node arrays NNd, corner arrays 4*NEl with corner k of element e at
+// index 4*e+k.
+type State struct {
+	Mesh *mesh.Mesh
+	Opt  Options
+	Pool *par.Pool
+
+	// Node coordinates (evolving; Mesh.X/Y keep the generated initial
+	// coordinates, which the Eulerian remap uses as its target).
+	X, Y []float64
+	// Node velocity.
+	U, V []float64
+	// NdMass is the fixed nodal mass (sum of adjacent corner masses).
+	NdMass []float64
+
+	// Element state.
+	Rho, Ein, P, Q, Csq, Vol []float64
+	// QEdge holds the per-edge viscous damper coefficients computed
+	// by GetQ (edge k of element e at 4*e+k); GetForce turns them
+	// into equal-and-opposite forces along each compressing edge —
+	// the edge-centred Caramana force that keeps cells from being
+	// splayed into slivers by an isotropic q.
+	QEdge []float64
+	// Mass is the fixed element mass; CMass the fixed corner
+	// (sub-zonal) masses.
+	Mass, CMass []float64
+
+	// Corner forces (per corner x/y), rebuilt by GetForce.
+	FX, FY []float64
+	// Nodal force accumulators, scratch for the acceleration scatter.
+	fxnd, fynd []float64
+
+	// Step scratch: start-of-step state saved by Step.
+	X0, Y0, U0, V0 []float64
+	UBar, VBar     []float64
+	Ein0           []float64
+
+	// PistonU, PistonV is the prescribed velocity of Piston-flagged
+	// nodes (Saltzmann).
+	PistonU, PistonV float64
+
+	// ExternalWork accumulates work done on the gas through
+	// prescribed-velocity (piston) nodes, so total-energy audits close.
+	ExternalWork float64
+
+	// FloorEnergy accumulates internal energy added by GetEin's
+	// negative-energy floor (zero on well-resolved problems);
+	// conservation audits subtract it.
+	FloorEnergy float64
+
+	// Time and DtPrev track the simulation clock across steps.
+	Time, DtPrev float64
+	// StepCount is the number of completed Lagrangian steps.
+	StepCount int
+}
+
+// NewState allocates a State over m with initial per-element density
+// and specific internal energy, and computes masses and the initial
+// EoS evaluation. rho and ein must have length m.NEl.
+func NewState(m *mesh.Mesh, opt Options, rho, ein []float64) (*State, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rho) != m.NEl || len(ein) != m.NEl {
+		return nil, fmt.Errorf("hydro: initial fields sized %d/%d, mesh has %d elements", len(rho), len(ein), m.NEl)
+	}
+	for e := 0; e < m.NEl; e++ {
+		if m.Region[e] < 0 || m.Region[e] >= len(opt.Materials) {
+			return nil, fmt.Errorf("hydro: element %d region %d has no material (have %d)", e, m.Region[e], len(opt.Materials))
+		}
+		if rho[e] <= 0 {
+			return nil, fmt.Errorf("hydro: element %d initial density %v not positive", e, rho[e])
+		}
+	}
+	nel, nnd := m.NEl, m.NNd
+	s := &State{
+		Mesh: m,
+		Opt:  opt,
+		Pool: par.Serial,
+
+		X: append([]float64(nil), m.X...),
+		Y: append([]float64(nil), m.Y...),
+		U: make([]float64, nnd),
+		V: make([]float64, nnd),
+
+		Rho:   append([]float64(nil), rho...),
+		Ein:   append([]float64(nil), ein...),
+		P:     make([]float64, nel),
+		Q:     make([]float64, nel),
+		QEdge: make([]float64, 4*nel),
+		Csq:   make([]float64, nel),
+		Vol:   make([]float64, nel),
+
+		Mass:   make([]float64, nel),
+		CMass:  make([]float64, 4*nel),
+		NdMass: make([]float64, nnd),
+
+		FX:   make([]float64, 4*nel),
+		FY:   make([]float64, 4*nel),
+		fxnd: make([]float64, nnd),
+		fynd: make([]float64, nnd),
+
+		X0:   make([]float64, nnd),
+		Y0:   make([]float64, nnd),
+		U0:   make([]float64, nnd),
+		V0:   make([]float64, nnd),
+		UBar: make([]float64, nnd),
+		VBar: make([]float64, nnd),
+		Ein0: make([]float64, nel),
+
+		DtPrev: opt.DtInitial,
+	}
+
+	// Volumes, masses, sub-zonal corner masses.
+	var x, y [4]float64
+	var sv [4]float64
+	for e := 0; e < nel; e++ {
+		s.gatherCoords(e, &x, &y)
+		vol := geom.Area(&x, &y)
+		if vol <= 0 {
+			return nil, &ErrTangled{Element: e, Volume: vol}
+		}
+		s.Vol[e] = vol
+		s.Mass[e] = rho[e] * vol
+		geom.SubVolumes(&x, &y, &sv)
+		for k := 0; k < 4; k++ {
+			s.CMass[4*e+k] = rho[e] * sv[k]
+		}
+	}
+	// Nodal masses from corner masses over all local elements (ghost
+	// layers make these sums complete for owned nodes).
+	for e := 0; e < nel; e++ {
+		for k := 0; k < 4; k++ {
+			s.NdMass[m.ElNd[e][k]] += s.CMass[4*e+k]
+		}
+	}
+	s.GetPC(0, nel)
+	return s, nil
+}
+
+// gatherCoords loads the current coordinates of element e's nodes.
+func (s *State) gatherCoords(e int, x, y *[4]float64) {
+	nd := &s.Mesh.ElNd[e]
+	for k := 0; k < 4; k++ {
+		x[k] = s.X[nd[k]]
+		y[k] = s.Y[nd[k]]
+	}
+}
+
+// gatherVel loads velocities of element e's nodes from the given
+// nodal arrays.
+func (s *State) gatherVel(e int, uArr, vArr []float64, u, v *[4]float64) {
+	nd := &s.Mesh.ElNd[e]
+	for k := 0; k < 4; k++ {
+		u[k] = uArr[nd[k]]
+		v[k] = vArr[nd[k]]
+	}
+}
+
+// TotalMass returns the mass of owned elements.
+func (s *State) TotalMass() float64 {
+	var m float64
+	for e := 0; e < s.Mesh.NOwnEl; e++ {
+		m += s.Mass[e]
+	}
+	return m
+}
+
+// InternalEnergy returns the total internal energy of owned elements.
+func (s *State) InternalEnergy() float64 {
+	var ie float64
+	for e := 0; e < s.Mesh.NOwnEl; e++ {
+		ie += s.Mass[e] * s.Ein[e]
+	}
+	return ie
+}
+
+// KineticEnergy returns the total kinetic energy of owned nodes.
+func (s *State) KineticEnergy() float64 {
+	var ke float64
+	for n := 0; n < s.Mesh.NOwnNd; n++ {
+		ke += 0.5 * s.NdMass[n] * (s.U[n]*s.U[n] + s.V[n]*s.V[n])
+	}
+	return ke
+}
+
+// TotalEnergy returns internal + kinetic energy of the owned partition.
+func (s *State) TotalEnergy() float64 {
+	return s.InternalEnergy() + s.KineticEnergy()
+}
+
+// Momentum returns the total (x, y) momentum of owned nodes.
+func (s *State) Momentum() (px, py float64) {
+	for n := 0; n < s.Mesh.NOwnNd; n++ {
+		px += s.NdMass[n] * s.U[n]
+		py += s.NdMass[n] * s.V[n]
+	}
+	return px, py
+}

@@ -1,0 +1,180 @@
+package hydro
+
+import (
+	"bookleaf/internal/mesh"
+	"bookleaf/internal/timers"
+)
+
+// Hooks are the distributed-memory extension points of the Lagrangian
+// step. They sit exactly where the paper places BookLeaf's
+// communications: one global reduction for the timestep, one halo
+// exchange immediately before the acceleration calculation (ghost
+// corner forces), and one refreshing ghost nodal kinematics that
+// services the next viscosity calculation. Nil hooks (or nil fields)
+// give serial behaviour.
+type Hooks struct {
+	// ReduceDt globally reduces the local stable timestep with MINLOC
+	// semantics over the controlling element id.
+	ReduceDt func(dt float64, elem int) (float64, int)
+	// ExchangeForces refreshes ghost-element corner forces (FX, FY)
+	// before the acceleration scatter.
+	ExchangeForces func(s *State)
+	// ExchangeVelocities refreshes ghost-node U, V, UBar, VBar after
+	// the acceleration update.
+	ExchangeVelocities func(s *State)
+}
+
+// Kernel timer names, matching the paper's Table II breakdown.
+const (
+	TimerGetDt    = "getdt"
+	TimerGetQ     = "getq"
+	TimerGetForce = "getforce"
+	TimerGetAcc   = "getacc"
+	TimerGetGeom  = "getgeom"
+	TimerGetRho   = "getrho"
+	TimerGetEin   = "getein"
+	TimerGetPC    = "getpc"
+	TimerComms    = "comms"
+	TimerALE      = "alestep"
+)
+
+// Step advances the state by one Lagrangian predictor-corrector step,
+// accumulating per-kernel times into tm (which may be nil). It returns
+// the timestep taken.
+func (s *State) Step(tm *timers.Set, hooks *Hooks) (float64, error) {
+	if tm == nil {
+		tm = timers.NewSet()
+	}
+	if hooks == nil {
+		hooks = &Hooks{}
+	}
+	nel := s.Mesh.NOwnEl
+
+	// Timestep: the paper's Algorithm 1 skips GETDT on the first step.
+	var dt float64
+	var controller int
+	if s.StepCount == 0 {
+		dt, controller = s.Opt.DtInitial, -1
+	} else {
+		tm.Start(TimerGetDt)
+		dt, controller = s.GetDt()
+		tm.Stop(TimerGetDt)
+	}
+	if hooks.ReduceDt != nil {
+		tm.Start(TimerComms)
+		dt, controller = hooks.ReduceDt(dt, controller)
+		tm.Stop(TimerComms)
+	}
+	if dt < s.Opt.DtMin {
+		return 0, &ErrDtCollapse{Dt: dt, Element: controller}
+	}
+
+	// Save start-of-step state.
+	copy(s.X0, s.X)
+	copy(s.Y0, s.Y)
+	copy(s.U0, s.U)
+	copy(s.V0, s.V)
+	copy(s.Ein0, s.Ein)
+
+	// --- Predictor: evolve to the half step with start-of-step
+	// velocities (no acceleration, per Algorithm 1).
+	tm.Start(TimerGetQ)
+	s.GetQ(0, nel)
+	tm.Stop(TimerGetQ)
+
+	tm.Start(TimerGetForce)
+	s.GetForce(0, nel, s.U0, s.V0)
+	tm.Stop(TimerGetForce)
+
+	tm.Start(TimerGetGeom)
+	err := s.GetGeom(0.5*dt, s.U0, s.V0, 0, nel)
+	tm.Stop(TimerGetGeom)
+	if err != nil {
+		return 0, err
+	}
+
+	tm.Start(TimerGetRho)
+	s.GetRho(0, nel)
+	tm.Stop(TimerGetRho)
+
+	tm.Start(TimerGetEin)
+	s.GetEin(0.5*dt, s.U0, s.V0, 0, nel) // half-step floor is transient
+	tm.Stop(TimerGetEin)
+
+	tm.Start(TimerGetPC)
+	s.GetPC(0, nel)
+	tm.Stop(TimerGetPC)
+
+	// --- Corrector: forces from the half-step state, acceleration,
+	// time-centred geometry and energy.
+	tm.Start(TimerGetQ)
+	s.GetQ(0, nel)
+	tm.Stop(TimerGetQ)
+
+	tm.Start(TimerGetForce)
+	s.GetForce(0, nel, s.U0, s.V0)
+	tm.Stop(TimerGetForce)
+
+	if hooks.ExchangeForces != nil {
+		tm.Start(TimerComms)
+		hooks.ExchangeForces(s)
+		tm.Stop(TimerComms)
+	}
+
+	tm.Start(TimerGetAcc)
+	s.GetAcc(dt)
+	tm.Stop(TimerGetAcc)
+	s.ExternalWork += -dt * s.pistonWork()
+
+	if hooks.ExchangeVelocities != nil {
+		tm.Start(TimerComms)
+		hooks.ExchangeVelocities(s)
+		tm.Stop(TimerComms)
+	}
+
+	tm.Start(TimerGetGeom)
+	err = s.GetGeom(dt, s.UBar, s.VBar, 0, nel)
+	tm.Stop(TimerGetGeom)
+	if err != nil {
+		return 0, err
+	}
+
+	tm.Start(TimerGetRho)
+	s.GetRho(0, nel)
+	tm.Stop(TimerGetRho)
+
+	tm.Start(TimerGetEin)
+	s.FloorEnergy += s.GetEin(dt, s.UBar, s.VBar, 0, nel)
+	tm.Stop(TimerGetEin)
+
+	tm.Start(TimerGetPC)
+	s.GetPC(0, nel)
+	tm.Stop(TimerGetPC)
+
+	s.Time += dt
+	s.DtPrev = dt
+	s.StepCount++
+	return dt, nil
+}
+
+// pistonWork returns the rate of work the gas does on prescribed-
+// velocity nodes — pistons and frozen far-field inflow — (negated by
+// the caller to get energy injected).
+func (s *State) pistonWork() float64 {
+	m := s.Mesh
+	var w float64
+	for n := 0; n < m.NOwnNd; n++ {
+		bc := m.BCs[n]
+		if bc&(mesh.Piston|mesh.FrozenVel) == 0 {
+			continue
+		}
+		var fx, fy float64
+		els, corners := m.ElementsAround(n)
+		for i, e := range els {
+			fx += s.FX[4*e+corners[i]]
+			fy += s.FY[4*e+corners[i]]
+		}
+		w += fx*s.UBar[n] + fy*s.VBar[n]
+	}
+	return w
+}

@@ -1,0 +1,77 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuarterDiscGeometry(t *testing.T) {
+	m, err := QuarterDisc(QuarterDiscSpec{N: 12, R: 1, AxisX: FixU, AxisY: FixV, Arc: FrozenVel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Every node inside or on the unit circle.
+	for n := 0; n < m.NNd; n++ {
+		if r := math.Hypot(m.X[n], m.Y[n]); r > 1+1e-12 {
+			t.Fatalf("node %d outside disc: r=%v", n, r)
+		}
+	}
+	// Arc nodes exactly on the circle.
+	arcCount := 0
+	for n := 0; n < m.NNd; n++ {
+		if m.BCs[n]&FrozenVel != 0 {
+			arcCount++
+			if r := math.Hypot(m.X[n], m.Y[n]); math.Abs(r-1) > 1e-12 {
+				t.Fatalf("arc node %d at r=%v, want 1", n, r)
+			}
+		}
+	}
+	if arcCount != 2*12+1 {
+		t.Fatalf("arc node count %d, want 25", arcCount)
+	}
+	// Total area approximates the quarter disc pi/4.
+	if a := m.TotalVolume(); math.Abs(a-math.Pi/4) > 0.01 {
+		t.Fatalf("area %v, want ~%v", a, math.Pi/4)
+	}
+}
+
+func TestQuarterDiscAreaConverges(t *testing.T) {
+	prevErr := math.Inf(1)
+	for _, n := range []int{8, 16, 32} {
+		m, err := QuarterDisc(QuarterDiscSpec{N: n, R: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(m.TotalVolume() - math.Pi)
+		if e >= prevErr {
+			t.Fatalf("area error did not shrink at N=%d: %v >= %v", n, e, prevErr)
+		}
+		prevErr = e
+	}
+}
+
+func TestQuarterDiscRejectsBadSpec(t *testing.T) {
+	if _, err := QuarterDisc(QuarterDiscSpec{N: 0, R: 1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := QuarterDisc(QuarterDiscSpec{N: 4, R: -1}); err == nil {
+		t.Fatal("R<0 accepted")
+	}
+}
+
+func TestQuarterDiscAxisBCs(t *testing.T) {
+	m, _ := QuarterDisc(QuarterDiscSpec{N: 6, R: 1, AxisX: FixU, AxisY: FixV})
+	for n := 0; n < m.NNd; n++ {
+		onX := math.Abs(m.X[n]) < 1e-14
+		onY := math.Abs(m.Y[n]) < 1e-14
+		if onX && m.BCs[n]&FixU == 0 {
+			t.Fatalf("x=0 node %d missing FixU", n)
+		}
+		if onY && m.BCs[n]&FixV == 0 {
+			t.Fatalf("y=0 node %d missing FixV", n)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package mesh implements BookLeaf's unstructured 2-D quadrilateral
+// mesh: storage, connectivity (element↔node, node→element, element↔
+// element across faces, explicit face list), boundary-condition flags,
+// generators for the four test problems, and consistency checking.
+//
+// The mesh is "unstructured" in the BookLeaf sense: although the
+// generators produce logically rectangular meshes, nothing downstream
+// relies on structure — all kernels walk flat connectivity arrays, the
+// number of elements around a node is arbitrary, and partitioned
+// sub-meshes with ghost layers are just meshes whose owned entities form
+// a prefix of the numbering.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"bookleaf/internal/geom"
+)
+
+// BC is a per-node boundary-condition bitmask.
+type BC uint8
+
+// Boundary-condition flags. FixU/FixV zero the corresponding velocity
+// component after the acceleration calculation (reflective walls);
+// Piston marks nodes whose velocity is prescribed by the problem driver
+// (Saltzmann's moving wall).
+const (
+	BCNone BC = 0
+	FixU   BC = 1 << iota
+	FixV
+	Piston
+	// FrozenVel pins a node's velocity at its initial value — the
+	// far-field inflow condition of the Noh problem, whose exact
+	// pre-shock solution has constant velocity along node paths.
+	FrozenVel
+)
+
+// Face is one mesh face (edge shared by at most two elements). Left is
+// the element for which the face runs counter-clockwise from N1 to N2;
+// Right is the neighbour, or -1 on the domain boundary.
+type Face struct {
+	N1, N2      int
+	Left, Right int
+}
+
+// Mesh holds the connectivity and coordinates of an unstructured quad
+// mesh. All slices indexed by element have length NEl; by node, NNd.
+type Mesh struct {
+	NEl, NNd int
+
+	// ElNd lists the four nodes of each element, counter-clockwise.
+	ElNd [][4]int
+	// ElEl lists, for each element, the neighbouring element across
+	// edge k (node k to node k+1), or -1 at a boundary.
+	ElEl [][4]int
+	// Faces is the unique face list.
+	Faces []Face
+
+	// Node→element adjacency in CSR form: the elements around node n
+	// are NdElList[NdElStart[n]:NdElStart[n+1]], with NdElCorner
+	// giving the corner index of n within each such element.
+	NdElStart  []int
+	NdElList   []int
+	NdElCorner []int
+
+	// X, Y are node coordinates.
+	X, Y []float64
+
+	// Region is the per-element region (material) index.
+	Region []int
+
+	// BCs is the per-node boundary-condition mask.
+	BCs []BC
+
+	// Ownership for partitioned meshes: elements [0,NOwnEl) and nodes
+	// [0,NOwnNd) are owned; the rest are ghosts. A serial mesh owns
+	// everything.
+	NOwnEl, NOwnNd int
+
+	// GlobalEl / GlobalNd map local indices to global ones for
+	// partitioned meshes; nil on serial meshes.
+	GlobalEl, GlobalNd []int
+}
+
+// GatherCoords copies the coordinates of element e's nodes into x, y.
+func (m *Mesh) GatherCoords(e int, x, y *[4]float64) {
+	nd := &m.ElNd[e]
+	for k := 0; k < 4; k++ {
+		x[k] = m.X[nd[k]]
+		y[k] = m.Y[nd[k]]
+	}
+}
+
+// Volume returns the area of element e from current coordinates.
+func (m *Mesh) Volume(e int) float64 {
+	var x, y [4]float64
+	m.GatherCoords(e, &x, &y)
+	return geom.Area(&x, &y)
+}
+
+// TotalVolume returns the summed area of owned elements.
+func (m *Mesh) TotalVolume() float64 {
+	var sum float64
+	for e := 0; e < m.NOwnEl; e++ {
+		sum += m.Volume(e)
+	}
+	return sum
+}
+
+// ElementsAround returns the (elements, corners) adjacency of node n.
+func (m *Mesh) ElementsAround(n int) (els, corners []int) {
+	lo, hi := m.NdElStart[n], m.NdElStart[n+1]
+	return m.NdElList[lo:hi], m.NdElCorner[lo:hi]
+}
+
+// BuildConnectivity derives ElEl, Faces and the node→element CSR from
+// ElNd. Generators and the partitioner call this after assembling ElNd,
+// X, Y.
+func (m *Mesh) BuildConnectivity() {
+	m.NEl = len(m.ElNd)
+	m.NNd = len(m.X)
+	if m.NOwnEl == 0 {
+		m.NOwnEl = m.NEl
+	}
+	if m.NOwnNd == 0 {
+		m.NOwnNd = m.NNd
+	}
+
+	// Node→element CSR.
+	counts := make([]int, m.NNd+1)
+	for e := range m.ElNd {
+		for k := 0; k < 4; k++ {
+			counts[m.ElNd[e][k]+1]++
+		}
+	}
+	for n := 0; n < m.NNd; n++ {
+		counts[n+1] += counts[n]
+	}
+	m.NdElStart = counts
+	total := counts[m.NNd]
+	m.NdElList = make([]int, total)
+	m.NdElCorner = make([]int, total)
+	fill := make([]int, m.NNd)
+	for e := range m.ElNd {
+		for k := 0; k < 4; k++ {
+			n := m.ElNd[e][k]
+			idx := m.NdElStart[n] + fill[n]
+			m.NdElList[idx] = e
+			m.NdElCorner[idx] = k
+			fill[n]++
+		}
+	}
+
+	// Element↔element adjacency and face list via an edge map keyed on
+	// the (min,max) node pair.
+	type edgeKey struct{ a, b int }
+	type edgeVal struct{ el, side int }
+	edges := make(map[edgeKey]edgeVal, 2*m.NEl)
+	m.ElEl = make([][4]int, m.NEl)
+	m.Faces = m.Faces[:0]
+	for e := range m.ElNd {
+		for k := 0; k < 4; k++ {
+			m.ElEl[e][k] = -1
+		}
+	}
+	for e := range m.ElNd {
+		for k := 0; k < 4; k++ {
+			n1 := m.ElNd[e][k]
+			n2 := m.ElNd[e][(k+1)&3]
+			key := edgeKey{n1, n2}
+			if key.a > key.b {
+				key.a, key.b = key.b, key.a
+			}
+			if prev, ok := edges[key]; ok {
+				m.ElEl[e][k] = prev.el
+				m.ElEl[prev.el][prev.side] = e
+				m.Faces = append(m.Faces, Face{N1: m.ElNd[prev.el][prev.side], N2: m.ElNd[prev.el][(prev.side+1)&3], Left: prev.el, Right: e})
+				delete(edges, key)
+			} else {
+				edges[key] = edgeVal{e, k}
+			}
+		}
+	}
+	// Remaining edges are boundary faces.
+	for key, v := range edges {
+		_ = key
+		m.Faces = append(m.Faces, Face{N1: m.ElNd[v.el][v.side], N2: m.ElNd[v.el][(v.side+1)&3], Left: v.el, Right: -1})
+	}
+}
+
+// Check validates mesh invariants: index ranges, positive element areas,
+// symmetric element adjacency, node→element inverse consistency, and
+// the Euler characteristic V - E + F = 1 for a simply-connected planar
+// mesh (faces not counting the outer region).
+func (m *Mesh) Check() error {
+	if m.NEl != len(m.ElNd) || m.NNd != len(m.X) || len(m.X) != len(m.Y) {
+		return fmt.Errorf("mesh: size mismatch NEl=%d len(ElNd)=%d NNd=%d len(X)=%d len(Y)=%d",
+			m.NEl, len(m.ElNd), m.NNd, len(m.X), len(m.Y))
+	}
+	for e := range m.ElNd {
+		for k := 0; k < 4; k++ {
+			n := m.ElNd[e][k]
+			if n < 0 || n >= m.NNd {
+				return fmt.Errorf("mesh: element %d corner %d references node %d outside [0,%d)", e, k, n, m.NNd)
+			}
+		}
+		if v := m.Volume(e); v <= 0 {
+			return fmt.Errorf("mesh: element %d has non-positive area %v", e, v)
+		}
+	}
+	for e := range m.ElEl {
+		for k := 0; k < 4; k++ {
+			nb := m.ElEl[e][k]
+			if nb < 0 {
+				continue
+			}
+			found := false
+			for kk := 0; kk < 4; kk++ {
+				if m.ElEl[nb][kk] == e {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("mesh: adjacency not symmetric between elements %d and %d", e, nb)
+			}
+		}
+	}
+	for n := 0; n < m.NNd; n++ {
+		els, corners := m.ElementsAround(n)
+		for i, e := range els {
+			if m.ElNd[e][corners[i]] != n {
+				return fmt.Errorf("mesh: node %d CSR entry (el %d corner %d) inconsistent", n, e, corners[i])
+			}
+		}
+	}
+	// Euler characteristic (serial simply-connected meshes only).
+	if m.GlobalEl == nil {
+		edges := make(map[[2]int]struct{}, 2*m.NEl)
+		for e := range m.ElNd {
+			for k := 0; k < 4; k++ {
+				a, b := m.ElNd[e][k], m.ElNd[e][(k+1)&3]
+				if a > b {
+					a, b = b, a
+				}
+				edges[[2]int{a, b}] = struct{}{}
+			}
+		}
+		if chi := m.NNd - len(edges) + m.NEl; chi != 1 {
+			return fmt.Errorf("mesh: Euler characteristic V-E+F = %d, want 1", chi)
+		}
+	}
+	return nil
+}
+
+// Distort is a coordinate transform applied by generators.
+type Distort func(x, y float64) (float64, float64)
+
+// RectSpec describes a generated rectangular region mesh.
+type RectSpec struct {
+	NX, NY         int     // cells in x and y
+	X0, X1, Y0, Y1 float64 // domain extent
+	// RegionOf assigns a region index from the undistorted cell
+	// centre; nil means region 0 everywhere.
+	RegionOf func(cx, cy float64) int
+	// Distort remaps node coordinates (Saltzmann); nil for none.
+	Distort Distort
+	// WallBC controls reflective-wall flags on the four domain edges
+	// (left, right, bottom, top). Generators default to all reflective
+	// when nil is passed to Rect via DefaultWalls.
+	Walls WallSpec
+}
+
+// WallSpec selects the boundary condition on each domain wall.
+type WallSpec struct {
+	Left, Right, Bottom, Top BC
+}
+
+// DefaultWalls gives reflective conditions on all four walls: vertical
+// walls fix u, horizontal walls fix v.
+func DefaultWalls() WallSpec {
+	return WallSpec{Left: FixU, Right: FixU, Bottom: FixV, Top: FixV}
+}
+
+// Rect generates an NX×NY quadrilateral mesh of [X0,X1]×[Y0,Y1].
+func Rect(spec RectSpec) (*Mesh, error) {
+	if spec.NX < 1 || spec.NY < 1 {
+		return nil, fmt.Errorf("mesh: Rect needs NX,NY >= 1, got %d,%d", spec.NX, spec.NY)
+	}
+	if !(spec.X1 > spec.X0) || !(spec.Y1 > spec.Y0) {
+		return nil, fmt.Errorf("mesh: Rect needs X1>X0 and Y1>Y0, got [%v,%v]x[%v,%v]",
+			spec.X0, spec.X1, spec.Y0, spec.Y1)
+	}
+	nx, ny := spec.NX, spec.NY
+	nnd := (nx + 1) * (ny + 1)
+	nel := nx * ny
+	m := &Mesh{
+		ElNd:   make([][4]int, 0, nel),
+		X:      make([]float64, nnd),
+		Y:      make([]float64, nnd),
+		Region: make([]int, 0, nel),
+		BCs:    make([]BC, nnd),
+	}
+	dx := (spec.X1 - spec.X0) / float64(nx)
+	dy := (spec.Y1 - spec.Y0) / float64(ny)
+	node := func(i, j int) int { return j*(nx+1) + i }
+	for j := 0; j <= ny; j++ {
+		for i := 0; i <= nx; i++ {
+			x := spec.X0 + float64(i)*dx
+			y := spec.Y0 + float64(j)*dy
+			if spec.Distort != nil {
+				x, y = spec.Distort(x, y)
+			}
+			n := node(i, j)
+			m.X[n], m.Y[n] = x, y
+			if i == 0 {
+				m.BCs[n] |= spec.Walls.Left
+			}
+			if i == nx {
+				m.BCs[n] |= spec.Walls.Right
+			}
+			if j == 0 {
+				m.BCs[n] |= spec.Walls.Bottom
+			}
+			if j == ny {
+				m.BCs[n] |= spec.Walls.Top
+			}
+		}
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			m.ElNd = append(m.ElNd, [4]int{node(i, j), node(i+1, j), node(i+1, j+1), node(i, j+1)})
+			reg := 0
+			if spec.RegionOf != nil {
+				cx := spec.X0 + (float64(i)+0.5)*dx
+				cy := spec.Y0 + (float64(j)+0.5)*dy
+				reg = spec.RegionOf(cx, cy)
+			}
+			m.Region = append(m.Region, reg)
+		}
+	}
+	m.BuildConnectivity()
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewSaltzmannDistort is the classic Saltzmann mesh skew for a domain
+// of height h: rows are sheared by amplitude·(h - y)/h·sin(πx), which
+// leaves the top wall straight, skews interior lines, and produces the
+// distorted mesh that excites hourglass modes.
+func NewSaltzmannDistort(h, amplitude float64) Distort {
+	return func(x, y float64) (float64, float64) {
+		return x + amplitude*(h-y)/h*math.Sin(math.Pi*x), y
+	}
+}
+
+// MinNodeSpacing returns the smallest edge length in the mesh — useful
+// for sanity checks after distortion.
+func (m *Mesh) MinNodeSpacing() float64 {
+	min := math.Inf(1)
+	var x, y, l [4]float64
+	for e := 0; e < m.NEl; e++ {
+		m.GatherCoords(e, &x, &y)
+		geom.SideLengths(&x, &y, &l)
+		for k := 0; k < 4; k++ {
+			if l[k] < min {
+				min = l[k]
+			}
+		}
+	}
+	return min
+}
+
+// Clone returns a deep copy of the mesh (coordinates and connectivity).
+func (m *Mesh) Clone() *Mesh {
+	c := &Mesh{
+		NEl: m.NEl, NNd: m.NNd,
+		NOwnEl: m.NOwnEl, NOwnNd: m.NOwnNd,
+	}
+	c.ElNd = append([][4]int(nil), m.ElNd...)
+	c.ElEl = append([][4]int(nil), m.ElEl...)
+	c.Faces = append([]Face(nil), m.Faces...)
+	c.NdElStart = append([]int(nil), m.NdElStart...)
+	c.NdElList = append([]int(nil), m.NdElList...)
+	c.NdElCorner = append([]int(nil), m.NdElCorner...)
+	c.X = append([]float64(nil), m.X...)
+	c.Y = append([]float64(nil), m.Y...)
+	c.Region = append([]int(nil), m.Region...)
+	c.BCs = append([]BC(nil), m.BCs...)
+	if m.GlobalEl != nil {
+		c.GlobalEl = append([]int(nil), m.GlobalEl...)
+	}
+	if m.GlobalNd != nil {
+		c.GlobalNd = append([]int(nil), m.GlobalNd...)
+	}
+	return c
+}

@@ -1,0 +1,269 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustRect(t testing.TB, nx, ny int) *Mesh {
+	t.Helper()
+	m, err := Rect(RectSpec{NX: nx, NY: ny, X0: 0, X1: 1, Y0: 0, Y1: 1, Walls: DefaultWalls()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRectCounts(t *testing.T) {
+	m := mustRect(t, 4, 3)
+	if m.NEl != 12 {
+		t.Fatalf("NEl = %d, want 12", m.NEl)
+	}
+	if m.NNd != 20 {
+		t.Fatalf("NNd = %d, want 20", m.NNd)
+	}
+	// horizontal edges: nx*(ny+1)=16, vertical edges: (nx+1)*ny=15.
+	if len(m.Faces) != 31 {
+		t.Fatalf("faces = %d, want 31", len(m.Faces))
+	}
+}
+
+func TestRectTotalVolume(t *testing.T) {
+	m := mustRect(t, 7, 5)
+	if v := m.TotalVolume(); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("total volume = %v, want 1", v)
+	}
+}
+
+func TestRectRejectsBadSpec(t *testing.T) {
+	if _, err := Rect(RectSpec{NX: 0, NY: 1, X0: 0, X1: 1, Y0: 0, Y1: 1}); err == nil {
+		t.Fatal("NX=0 accepted")
+	}
+	if _, err := Rect(RectSpec{NX: 2, NY: 2, X0: 1, X1: 0, Y0: 0, Y1: 1}); err == nil {
+		t.Fatal("X1<X0 accepted")
+	}
+}
+
+func TestElementOrientationCCW(t *testing.T) {
+	m := mustRect(t, 3, 3)
+	for e := 0; e < m.NEl; e++ {
+		if v := m.Volume(e); v <= 0 {
+			t.Fatalf("element %d area %v not positive", e, v)
+		}
+	}
+}
+
+func TestAdjacencySymmetricAndInterior(t *testing.T) {
+	m := mustRect(t, 5, 4)
+	interior := 0
+	for e := 0; e < m.NEl; e++ {
+		for k := 0; k < 4; k++ {
+			nb := m.ElEl[e][k]
+			if nb < 0 {
+				continue
+			}
+			interior++
+			back := false
+			for kk := 0; kk < 4; kk++ {
+				if m.ElEl[nb][kk] == e {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("asymmetric adjacency %d->%d", e, nb)
+			}
+		}
+	}
+	// Interior adjacency entries = 2 * interior faces = 2*(nx*(ny-1)+(nx-1)*ny) = 2*(5*3+4*4)=62
+	if interior != 62 {
+		t.Fatalf("interior adjacency entries = %d, want 62", interior)
+	}
+}
+
+func TestNodeElementCSR(t *testing.T) {
+	m := mustRect(t, 4, 4)
+	// Corner node 0 has 1 element, edge nodes 2, interior nodes 4.
+	els, corners := m.ElementsAround(0)
+	if len(els) != 1 || m.ElNd[els[0]][corners[0]] != 0 {
+		t.Fatalf("corner node adjacency wrong: %v %v", els, corners)
+	}
+	// Interior node: pick node at (2,2) = 2*(4+1)+... node index j*(nx+1)+i = 2*5+2 = 12.
+	els, _ = m.ElementsAround(12)
+	if len(els) != 4 {
+		t.Fatalf("interior node has %d elements, want 4", len(els))
+	}
+}
+
+func TestBoundaryFlags(t *testing.T) {
+	m := mustRect(t, 3, 3)
+	// Node 0 is bottom-left corner: FixU|FixV.
+	if m.BCs[0] != FixU|FixV {
+		t.Fatalf("corner BC = %v, want FixU|FixV", m.BCs[0])
+	}
+	// Mid-bottom node 1: FixV only.
+	if m.BCs[1] != FixV {
+		t.Fatalf("bottom BC = %v, want FixV", m.BCs[1])
+	}
+	// An interior node: (1,1) -> 1*4+... nx+1=4, node = 1*4+1 = 5.
+	if m.BCs[5] != BCNone {
+		t.Fatalf("interior BC = %v, want none", m.BCs[5])
+	}
+}
+
+func TestFaceListConsistency(t *testing.T) {
+	m := mustRect(t, 6, 2)
+	boundary, interior := 0, 0
+	for _, f := range m.Faces {
+		if f.Right < 0 {
+			boundary++
+		} else {
+			interior++
+		}
+		if f.Left < 0 || f.Left >= m.NEl {
+			t.Fatalf("face has bad left element %d", f.Left)
+		}
+		// N1->N2 must be a CCW edge of Left.
+		ok := false
+		for k := 0; k < 4; k++ {
+			if m.ElNd[f.Left][k] == f.N1 && m.ElNd[f.Left][(k+1)&3] == f.N2 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("face (%d,%d) is not a CCW edge of element %d", f.N1, f.N2, f.Left)
+		}
+	}
+	if boundary != 2*6+2*2 {
+		t.Fatalf("boundary faces = %d, want 16", boundary)
+	}
+	if interior != 6*1+5*2 {
+		t.Fatalf("interior faces = %d, want 16", interior)
+	}
+}
+
+func TestRegionAssignment(t *testing.T) {
+	m, err := Rect(RectSpec{
+		NX: 10, NY: 2, X0: 0, X1: 1, Y0: 0, Y1: 0.2,
+		RegionOf: func(cx, cy float64) int {
+			if cx < 0.5 {
+				return 0
+			}
+			return 1
+		},
+		Walls: DefaultWalls(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, n1 := 0, 0
+	for _, r := range m.Region {
+		switch r {
+		case 0:
+			n0++
+		case 1:
+			n1++
+		default:
+			t.Fatalf("unexpected region %d", r)
+		}
+	}
+	if n0 != 10 || n1 != 10 {
+		t.Fatalf("regions split %d/%d, want 10/10", n0, n1)
+	}
+}
+
+func TestSaltzmannDistortKeepsValidMesh(t *testing.T) {
+	m, err := Rect(RectSpec{
+		NX: 100, NY: 10, X0: 0, X1: 1, Y0: 0, Y1: 0.1,
+		Distort: NewSaltzmannDistort(0.1, 0.01),
+		Walls:   DefaultWalls(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < m.NEl; e++ {
+		if m.Volume(e) <= 0 {
+			t.Fatalf("distorted element %d inverted", e)
+		}
+	}
+	if m.MinNodeSpacing() <= 0 {
+		t.Fatal("non-positive node spacing after distortion")
+	}
+}
+
+func TestCheckDetectsBadNodeIndex(t *testing.T) {
+	m := mustRect(t, 2, 2)
+	m.ElNd[0][0] = 999
+	if err := m.Check(); err == nil {
+		t.Fatal("Check accepted out-of-range node index")
+	}
+}
+
+func TestCheckDetectsInvertedElement(t *testing.T) {
+	m := mustRect(t, 2, 2)
+	// Swap two nodes to invert element 0.
+	m.ElNd[0][1], m.ElNd[0][3] = m.ElNd[0][3], m.ElNd[0][1]
+	if err := m.Check(); err == nil {
+		t.Fatal("Check accepted inverted element")
+	}
+}
+
+func TestEulerCharacteristicProperty(t *testing.T) {
+	f := func(nxr, nyr uint8) bool {
+		nx := int(nxr%12) + 1
+		ny := int(nyr%12) + 1
+		m, err := Rect(RectSpec{NX: nx, NY: ny, X0: 0, X1: 1, Y0: 0, Y1: 1, Walls: DefaultWalls()})
+		if err != nil {
+			return false
+		}
+		return m.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumePartitionProperty(t *testing.T) {
+	// Sum of element volumes equals domain area for arbitrary sizes.
+	f := func(nxr, nyr uint8) bool {
+		nx := int(nxr%10) + 1
+		ny := int(nyr%10) + 1
+		m, err := Rect(RectSpec{NX: nx, NY: ny, X0: -1, X1: 3, Y0: 2, Y1: 4, Walls: DefaultWalls()})
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.TotalVolume()-8) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := mustRect(t, 3, 2)
+	c := m.Clone()
+	c.X[0] = 42
+	c.ElNd[0][0] = 7
+	if m.X[0] == 42 || m.ElNd[0][0] == 7 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("original corrupted after clone mutation: %v", err)
+	}
+}
+
+func TestGatherCoords(t *testing.T) {
+	m := mustRect(t, 2, 2)
+	var x, y [4]float64
+	m.GatherCoords(0, &x, &y)
+	if x[0] != 0 || y[0] != 0 || x[1] != 0.5 || y[2] != 0.5 {
+		t.Fatalf("gathered coords wrong: %v %v", x, y)
+	}
+}
+
+func TestMinNodeSpacing(t *testing.T) {
+	m, _ := Rect(RectSpec{NX: 4, NY: 2, X0: 0, X1: 1, Y0: 0, Y1: 1, Walls: DefaultWalls()})
+	if s := m.MinNodeSpacing(); math.Abs(s-0.25) > 1e-14 {
+		t.Fatalf("min spacing = %v, want 0.25", s)
+	}
+}

@@ -1,0 +1,204 @@
+// Package par is BookLeaf's intra-rank threading substrate, standing in
+// for the OpenMP host parallelism of the reference implementation. A
+// Pool models one "NUMA region" worth of threads; For splits an index
+// range into contiguous chunks (the static schedule OpenMP would use)
+// and ReduceMin/ReduceSum provide the explicit loop reductions the
+// paper's authors had to write by hand after the Fortran workshare
+// directive proved to serialise MINVAL/MINLOC.
+//
+// A Pool with Threads <= 1 executes everything inline with zero
+// goroutine overhead; this is the "flat MPI" configuration where each
+// rank is single-threaded. The hybrid configuration uses Threads > 1.
+//
+// The acceleration kernel in BookLeaf contains a corner-force→node
+// scatter data dependency that the paper left unparallelised ("it has
+// currently been left unchanged, adversely affecting OpenMP
+// performance"). Serial reproduces that choice: it always runs on the
+// calling goroutine, whatever the pool size.
+package par
+
+import (
+	"math"
+	"sync"
+)
+
+// Pool executes loops across a fixed number of logical threads.
+// The zero value is a serial pool.
+type Pool struct {
+	// Threads is the number of chunks loops are split into. Values
+	// below 2 mean fully inline serial execution.
+	Threads int
+}
+
+// Serial is the single-threaded pool used by flat-MPI ranks.
+var Serial = &Pool{Threads: 1}
+
+// New returns a pool with n threads (minimum 1).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{Threads: n}
+}
+
+// chunks returns the number of chunks to split an n-iteration loop into.
+func (p *Pool) chunks(n int) int {
+	t := p.Threads
+	if t < 1 {
+		t = 1
+	}
+	if t > n {
+		t = n
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// For executes body(lo, hi) over disjoint contiguous subranges covering
+// [0, n). With a serial pool the body runs once inline as body(0, n).
+func (p *Pool) For(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t := p.chunks(n)
+	if t == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for c := 0; c < t; c++ {
+		lo := c * n / t
+		hi := (c + 1) * n / t
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// NumChunks reports how many chunks For and ForChunks split an
+// n-iteration loop into.
+func (p *Pool) NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return p.chunks(n)
+}
+
+// ForChunks is For with the chunk index passed to the body — the
+// standard pattern for race-free per-chunk reductions.
+func (p *Pool) ForChunks(n int, body func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t := p.chunks(n)
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for c := 0; c < t; c++ {
+		lo := c * n / t
+		hi := (c + 1) * n / t
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			body(c, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Serial executes body(0, n) on the calling goroutine regardless of the
+// pool size. It models the unparallelised scatter kernels.
+func (p *Pool) Serial(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	body(0, n)
+}
+
+// ReduceMin computes the minimum of f(i) for i in [0, n) together with
+// the index attaining it (the MINVAL/MINLOC expansion). Ties resolve to
+// the lowest index so results are deterministic across pool sizes.
+func (p *Pool) ReduceMin(n int, f func(i int) float64) (min float64, argmin int) {
+	if n <= 0 {
+		return math.Inf(1), -1
+	}
+	t := p.chunks(n)
+	if t == 1 {
+		return reduceMinRange(0, n, f)
+	}
+	mins := make([]float64, t)
+	args := make([]int, t)
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for c := 0; c < t; c++ {
+		lo := c * n / t
+		hi := (c + 1) * n / t
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			mins[c], args[c] = reduceMinRange(lo, hi, f)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	min, argmin = mins[0], args[0]
+	for c := 1; c < t; c++ {
+		if mins[c] < min {
+			min, argmin = mins[c], args[c]
+		}
+	}
+	return min, argmin
+}
+
+func reduceMinRange(lo, hi int, f func(i int) float64) (float64, int) {
+	min, arg := f(lo), lo
+	for i := lo + 1; i < hi; i++ {
+		if v := f(i); v < min {
+			min, arg = v, i
+		}
+	}
+	return min, arg
+}
+
+// ReduceSum computes the sum of f(i) for i in [0, n). Each chunk sums
+// locally and the partials are combined in chunk order, so the result is
+// deterministic for a fixed pool size.
+func (p *Pool) ReduceSum(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	t := p.chunks(n)
+	if t == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	parts := make([]float64, t)
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for c := 0; c < t; c++ {
+		lo := c * n / t
+		hi := (c + 1) * n / t
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			parts[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, v := range parts {
+		s += v
+	}
+	return s
+}

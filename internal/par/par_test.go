@@ -1,0 +1,122 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, threads := range []int{0, 1, 2, 3, 7, 16} {
+		p := New(threads)
+		for _, n := range []int{0, 1, 2, 5, 100, 1023} {
+			hits := make([]int32, n)
+			p.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	p := New(4)
+	called := false
+	p.For(0, func(lo, hi int) { called = true })
+	p.For(-3, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+func TestSerialRunsInline(t *testing.T) {
+	p := New(8)
+	calls := 0
+	p.Serial(10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("Serial range = [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("Serial body called %d times, want 1", calls)
+	}
+}
+
+func TestReduceMinMatchesSerial(t *testing.T) {
+	vals := []float64{5, 3, 8, 3, -1, 7, -1, 2}
+	want, wantArg := math.Inf(1), -1
+	for i, v := range vals {
+		if v < want {
+			want, wantArg = v, i
+		}
+	}
+	for _, threads := range []int{1, 2, 3, 8, 20} {
+		got, arg := New(threads).ReduceMin(len(vals), func(i int) float64 { return vals[i] })
+		if got != want || arg != wantArg {
+			t.Fatalf("threads=%d: ReduceMin = (%v,%d), want (%v,%d)", threads, got, arg, want, wantArg)
+		}
+	}
+}
+
+func TestReduceMinEmpty(t *testing.T) {
+	v, i := New(4).ReduceMin(0, func(int) float64 { return 0 })
+	if !math.IsInf(v, 1) || i != -1 {
+		t.Fatalf("empty ReduceMin = (%v,%d), want (+Inf,-1)", v, i)
+	}
+}
+
+func TestReduceMinTieBreaksLowestIndex(t *testing.T) {
+	vals := []float64{4, 1, 2, 1, 1}
+	for _, threads := range []int{1, 2, 5} {
+		_, arg := New(threads).ReduceMin(len(vals), func(i int) float64 { return vals[i] })
+		if arg != 1 {
+			t.Fatalf("threads=%d: argmin = %d, want 1", threads, arg)
+		}
+	}
+}
+
+func TestReduceSumMatchesSerial(t *testing.T) {
+	n := 1000
+	want := float64(n*(n-1)) / 2
+	for _, threads := range []int{1, 2, 4, 9} {
+		got := New(threads).ReduceSum(n, func(i int) float64 { return float64(i) })
+		if got != want {
+			t.Fatalf("threads=%d: sum = %v, want %v", threads, got, want)
+		}
+	}
+}
+
+func TestReduceMinPropertyAgainstSerial(t *testing.T) {
+	f := func(raw []float64, threads uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			vals[i] = v
+		}
+		sv, si := New(1).ReduceMin(len(vals), func(i int) float64 { return vals[i] })
+		pv, pi := New(int(threads%16)+1).ReduceMin(len(vals), func(i int) float64 { return vals[i] })
+		return sv == pv && si == pi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewClampsToOne(t *testing.T) {
+	if New(-5).Threads != 1 {
+		t.Fatal("New(-5) should clamp to 1 thread")
+	}
+}

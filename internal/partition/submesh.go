@@ -1,0 +1,235 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"bookleaf/internal/mesh"
+)
+
+// SubMesh is one rank's local mesh: owned elements and nodes first,
+// followed by a one-element-deep ghost layer (all elements sharing at
+// least one node with an owned element, plus their nodes). With this
+// ghost rule every owned node sees all of its surrounding elements
+// locally, so nodal mass/force sums need no communication — only ghost
+// *values* must be refreshed, which is exactly the Typhon halo-exchange
+// pattern the paper describes.
+type SubMesh struct {
+	M    *mesh.Mesh
+	Rank int
+
+	// Element exchange lists, symmetric across ranks: ElSend[s] on
+	// rank r lists local owned elements that rank s holds as ghosts,
+	// in the same (global-id) order as ElRecv[r] on rank s.
+	ElSend map[int][]int
+	ElRecv map[int][]int
+	// Node exchange lists, same convention.
+	NdSend map[int][]int
+	NdRecv map[int][]int
+
+	// Neighbours is the sorted list of ranks this rank exchanges with.
+	Neighbours []int
+}
+
+// Split decomposes a global mesh according to part (per-element rank)
+// into nparts local sub-meshes with ghost layers and matching exchange
+// lists. Every part must be non-empty.
+func Split(global *mesh.Mesh, part []int, nparts int) ([]*SubMesh, error) {
+	if len(part) != global.NEl {
+		return nil, fmt.Errorf("partition: part length %d != NEl %d", len(part), global.NEl)
+	}
+	counts := make([]int, nparts)
+	for e, p := range part {
+		if p < 0 || p >= nparts {
+			return nil, fmt.Errorf("partition: element %d assigned to invalid part %d", e, p)
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("partition: part %d is empty", p)
+		}
+	}
+
+	// Node owner = min part over adjacent elements.
+	ndOwner := make([]int, global.NNd)
+	for n := range ndOwner {
+		ndOwner[n] = nparts
+	}
+	for e := 0; e < global.NEl; e++ {
+		for k := 0; k < 4; k++ {
+			n := global.ElNd[e][k]
+			if part[e] < ndOwner[n] {
+				ndOwner[n] = part[e]
+			}
+		}
+	}
+
+	subs := make([]*SubMesh, nparts)
+	// Global element -> local index per rank, for wiring send lists.
+	elLocal := make([]map[int]int, nparts)
+	ndLocal := make([]map[int]int, nparts)
+
+	for r := 0; r < nparts; r++ {
+		// Owned elements in global order.
+		var owned []int
+		for e := 0; e < global.NEl; e++ {
+			if part[e] == r {
+				owned = append(owned, e)
+			}
+		}
+		// Ghost elements: share a node with an owned element.
+		ghostSet := make(map[int]bool)
+		for _, e := range owned {
+			for k := 0; k < 4; k++ {
+				n := global.ElNd[e][k]
+				els, _ := global.ElementsAround(n)
+				for _, nb := range els {
+					if part[nb] != r {
+						ghostSet[nb] = true
+					}
+				}
+			}
+		}
+		ghosts := make([]int, 0, len(ghostSet))
+		for e := range ghostSet {
+			ghosts = append(ghosts, e)
+		}
+		sort.Slice(ghosts, func(a, b int) bool {
+			if part[ghosts[a]] != part[ghosts[b]] {
+				return part[ghosts[a]] < part[ghosts[b]]
+			}
+			return ghosts[a] < ghosts[b]
+		})
+
+		allEls := append(append([]int(nil), owned...), ghosts...)
+
+		// Local node set: owned nodes (owner == r) then ghost nodes,
+		// each sorted by (owner, global id).
+		ndSet := make(map[int]bool)
+		for _, e := range allEls {
+			for k := 0; k < 4; k++ {
+				ndSet[global.ElNd[e][k]] = true
+			}
+		}
+		var ownNodes, ghostNodes []int
+		for n := range ndSet {
+			if ndOwner[n] == r {
+				ownNodes = append(ownNodes, n)
+			} else {
+				ghostNodes = append(ghostNodes, n)
+			}
+		}
+		sort.Ints(ownNodes)
+		sort.Slice(ghostNodes, func(a, b int) bool {
+			if ndOwner[ghostNodes[a]] != ndOwner[ghostNodes[b]] {
+				return ndOwner[ghostNodes[a]] < ndOwner[ghostNodes[b]]
+			}
+			return ghostNodes[a] < ghostNodes[b]
+		})
+		allNds := append(append([]int(nil), ownNodes...), ghostNodes...)
+
+		e2l := make(map[int]int, len(allEls))
+		for i, e := range allEls {
+			e2l[e] = i
+		}
+		n2l := make(map[int]int, len(allNds))
+		for i, n := range allNds {
+			n2l[n] = i
+		}
+		elLocal[r] = e2l
+		ndLocal[r] = n2l
+
+		lm := &mesh.Mesh{
+			ElNd:     make([][4]int, len(allEls)),
+			X:        make([]float64, len(allNds)),
+			Y:        make([]float64, len(allNds)),
+			Region:   make([]int, len(allEls)),
+			BCs:      make([]mesh.BC, len(allNds)),
+			GlobalEl: allEls,
+			GlobalNd: allNds,
+			NOwnEl:   len(owned),
+			NOwnNd:   len(ownNodes),
+		}
+		for i, e := range allEls {
+			for k := 0; k < 4; k++ {
+				lm.ElNd[i][k] = n2l[global.ElNd[e][k]]
+			}
+			lm.Region[i] = global.Region[e]
+		}
+		for i, n := range allNds {
+			lm.X[i] = global.X[n]
+			lm.Y[i] = global.Y[n]
+			lm.BCs[i] = global.BCs[n]
+		}
+		lm.BuildConnectivity()
+
+		sm := &SubMesh{
+			M:      lm,
+			Rank:   r,
+			ElSend: make(map[int][]int),
+			ElRecv: make(map[int][]int),
+			NdSend: make(map[int][]int),
+			NdRecv: make(map[int][]int),
+		}
+		// Receive lists: ghosts grouped by owner, already in
+		// (owner, global id) order.
+		for i := len(owned); i < len(allEls); i++ {
+			src := part[allEls[i]]
+			sm.ElRecv[src] = append(sm.ElRecv[src], i)
+		}
+		for i := len(ownNodes); i < len(allNds); i++ {
+			src := ndOwner[allNds[i]]
+			sm.NdRecv[src] = append(sm.NdRecv[src], i)
+		}
+		subs[r] = sm
+	}
+
+	// Wire send lists to mirror each receiver's order.
+	for r := 0; r < nparts; r++ {
+		for src, recvIdx := range subs[r].ElRecv {
+			send := make([]int, len(recvIdx))
+			for i, li := range recvIdx {
+				ge := subs[r].M.GlobalEl[li]
+				sl, ok := elLocal[src][ge]
+				if !ok || sl >= subs[src].M.NOwnEl {
+					return nil, fmt.Errorf("partition: ghost element %d of rank %d not owned by rank %d", ge, r, src)
+				}
+				send[i] = sl
+			}
+			subs[src].ElSend[r] = send
+		}
+		for src, recvIdx := range subs[r].NdRecv {
+			send := make([]int, len(recvIdx))
+			for i, li := range recvIdx {
+				gn := subs[r].M.GlobalNd[li]
+				sl, ok := ndLocal[src][gn]
+				if !ok || sl >= subs[src].M.NOwnNd {
+					return nil, fmt.Errorf("partition: ghost node %d of rank %d not owned by rank %d", gn, r, src)
+				}
+				send[i] = sl
+			}
+			subs[src].NdSend[r] = send
+		}
+	}
+	for r := 0; r < nparts; r++ {
+		nb := make(map[int]bool)
+		for s := range subs[r].ElSend {
+			nb[s] = true
+		}
+		for s := range subs[r].ElRecv {
+			nb[s] = true
+		}
+		for s := range subs[r].NdSend {
+			nb[s] = true
+		}
+		for s := range subs[r].NdRecv {
+			nb[s] = true
+		}
+		for s := range nb {
+			subs[r].Neighbours = append(subs[r].Neighbours, s)
+		}
+		sort.Ints(subs[r].Neighbours)
+	}
+	return subs, nil
+}

@@ -1,0 +1,330 @@
+// Package ref1d is an independent one-dimensional staggered Lagrangian
+// hydrodynamics solver used to cross-validate the 2-D code on planar
+// problems. It shares the numerical ingredients of the 2-D scheme —
+// staggered mesh, predictor-corrector time integration, compatible
+// energy update, monotonic-limited artificial viscosity — but is a
+// separate, much simpler implementation: agreement between the two on
+// Sod's tube and the piston problem is a strong consistency check,
+// since a shared bug would have to be made twice.
+package ref1d
+
+import (
+	"fmt"
+	"math"
+
+	"bookleaf/internal/eos"
+)
+
+// BC selects the boundary condition at one end of the tube.
+type BC int
+
+const (
+	// Wall is a rigid reflective wall (node velocity zero).
+	Wall BC = iota
+	// Piston prescribes the node velocity (set via PistonU).
+	Piston
+)
+
+// Options configure the 1-D solver.
+type Options struct {
+	CFL       float64
+	DtInitial float64
+	DtGrowth  float64
+	DtMin     float64
+	CQ1, CQ2  float64
+	Left      BC
+	Right     BC
+	PistonU   float64 // velocity of Piston-flagged ends
+}
+
+// DefaultOptions mirrors the 2-D defaults.
+func DefaultOptions() Options {
+	return Options{
+		CFL: 0.5, DtInitial: 1e-5, DtGrowth: 1.02, DtMin: 1e-12,
+		CQ1: 0.5, CQ2: 0.75,
+	}
+}
+
+// Solver is a 1-D staggered Lagrangian state: n cells, n+1 nodes.
+type Solver struct {
+	Opt Options
+	Mat []eos.Material // per cell
+
+	X, U   []float64 // node position, velocity (n+1)
+	NdMass []float64 // nodal mass (n+1)
+
+	Rho, Ein, P, Q, Cs2, Mass []float64 // cell quantities (n)
+
+	Time, DtPrev float64
+	StepCount    int
+
+	// scratch
+	x0, u0, ein0, f []float64
+}
+
+// New builds a solver from node positions and per-cell initial state.
+// mats gives the material per cell (may repeat one value).
+func New(opt Options, x []float64, rho, ein []float64, mats []eos.Material) (*Solver, error) {
+	n := len(rho)
+	if len(x) != n+1 || len(ein) != n || len(mats) != n {
+		return nil, fmt.Errorf("ref1d: inconsistent sizes: %d nodes, %d cells, %d energies, %d materials",
+			len(x), n, len(ein), len(mats))
+	}
+	for i := 0; i < n; i++ {
+		if x[i+1] <= x[i] {
+			return nil, fmt.Errorf("ref1d: node %d not increasing", i+1)
+		}
+		if rho[i] <= 0 {
+			return nil, fmt.Errorf("ref1d: cell %d density %v", i, rho[i])
+		}
+	}
+	s := &Solver{
+		Opt: opt, Mat: mats,
+		X:      append([]float64(nil), x...),
+		U:      make([]float64, n+1),
+		NdMass: make([]float64, n+1),
+		Rho:    append([]float64(nil), rho...),
+		Ein:    append([]float64(nil), ein...),
+		P:      make([]float64, n),
+		Q:      make([]float64, n),
+		Cs2:    make([]float64, n),
+		Mass:   make([]float64, n),
+		x0:     make([]float64, n+1),
+		u0:     make([]float64, n+1),
+		ein0:   make([]float64, n),
+		f:      make([]float64, n+1),
+		DtPrev: opt.DtInitial,
+	}
+	for i := 0; i < n; i++ {
+		s.Mass[i] = rho[i] * (x[i+1] - x[i])
+		s.NdMass[i] += 0.5 * s.Mass[i]
+		s.NdMass[i+1] += 0.5 * s.Mass[i]
+	}
+	s.eosEval()
+	return s, nil
+}
+
+func (s *Solver) eosEval() {
+	for i := range s.Rho {
+		s.P[i] = s.Mat[i].Pressure(s.Rho[i], s.Ein[i])
+		s.Cs2[i] = s.Mat[i].SoundSpeed2(s.Rho[i], s.Ein[i])
+	}
+}
+
+// getQ computes the monotonic-limited artificial viscosity.
+func (s *Solver) getQ() {
+	n := len(s.Rho)
+	for i := 0; i < n; i++ {
+		du := s.U[i+1] - s.U[i]
+		if du >= 0 {
+			s.Q[i] = 0
+			continue
+		}
+		// Limiter from the velocity-difference ratios of the
+		// neighbouring cells (one-sided at the ends).
+		r := math.Inf(1)
+		if i > 0 {
+			r = math.Min(r, (s.U[i]-s.U[i-1])/du)
+		}
+		if i < n-1 {
+			r = math.Min(r, (s.U[i+2]-s.U[i+1])/du)
+		}
+		psi := 0.0
+		if r > 0 && !math.IsInf(r, 1) {
+			psi = math.Min(1, r)
+		}
+		cs := math.Sqrt(s.Cs2[i])
+		s.Q[i] = (1 - psi) * s.Rho[i] * (s.Opt.CQ2*du*du + s.Opt.CQ1*cs*math.Abs(du))
+	}
+}
+
+// forces fills the nodal force array from P+Q.
+func (s *Solver) forces() {
+	n := len(s.Rho)
+	for i := 0; i <= n; i++ {
+		var left, right float64
+		if i > 0 {
+			left = s.P[i-1] + s.Q[i-1]
+		}
+		if i < n {
+			right = s.P[i] + s.Q[i]
+		}
+		// Interior: net force = (P+Q)_left - (P+Q)_right. End nodes
+		// feel only the interior side (the wall supplies the
+		// constraint force).
+		switch {
+		case i == 0:
+			s.f[i] = -right
+		case i == n:
+			s.f[i] = left
+		default:
+			s.f[i] = left - right
+		}
+	}
+}
+
+// getDt returns the stable timestep.
+func (s *Solver) getDt() float64 {
+	dt := s.Opt.DtGrowth * s.DtPrev
+	for i := range s.Rho {
+		l := s.X[i+1] - s.X[i]
+		sig := math.Sqrt(s.Cs2[i] + 2*s.Q[i]/s.Rho[i])
+		if sig > 0 {
+			if c := s.Opt.CFL * l / sig; c < dt {
+				dt = c
+			}
+		}
+	}
+	return dt
+}
+
+// applyBC enforces the end conditions on a velocity array.
+func (s *Solver) applyBC(u []float64) {
+	switch s.Opt.Left {
+	case Wall:
+		u[0] = 0
+	case Piston:
+		u[0] = s.Opt.PistonU
+	}
+	switch s.Opt.Right {
+	case Wall:
+		u[len(u)-1] = 0
+	case Piston:
+		u[len(u)-1] = s.Opt.PistonU
+	}
+}
+
+// Step advances one predictor-corrector step.
+func (s *Solver) Step() (float64, error) {
+	n := len(s.Rho)
+	var dt float64
+	if s.StepCount == 0 {
+		dt = s.Opt.DtInitial
+	} else {
+		dt = s.getDt()
+	}
+	if dt < s.Opt.DtMin {
+		return 0, fmt.Errorf("ref1d: timestep %v collapsed at step %d", dt, s.StepCount)
+	}
+	copy(s.x0, s.X)
+	copy(s.u0, s.U)
+	copy(s.ein0, s.Ein)
+
+	// Predictor: half-step geometry with start-of-step velocities.
+	s.getQ()
+	s.forces()
+	for i := 0; i <= n; i++ {
+		s.X[i] = s.x0[i] + 0.5*dt*s.u0[i]
+	}
+	for i := 0; i < n; i++ {
+		s.Rho[i] = s.Mass[i] / (s.X[i+1] - s.X[i])
+		// Compatible: de = -dt/2 (F·u) / m with the cell's two node
+		// forces taken as the pressure difference work.
+		w := (s.P[i]+s.Q[i])*(s.u0[i+1]-s.u0[i]) - 0
+		s.Ein[i] = s.ein0[i] - 0.5*dt*w/s.Mass[i]
+		if s.Ein[i] < 0 && s.Mat[i].EnergyDependent() {
+			s.Ein[i] = 0
+		}
+	}
+	s.eosEval()
+
+	// Corrector.
+	s.getQ()
+	s.forces()
+	for i := 0; i <= n; i++ {
+		s.U[i] = s.u0[i] + dt*s.f[i]/s.NdMass[i]
+	}
+	s.applyBC(s.U)
+	for i := 0; i <= n; i++ {
+		ubar := 0.5 * (s.u0[i] + s.U[i])
+		s.X[i] = s.x0[i] + dt*ubar
+	}
+	for i := 0; i < n; i++ {
+		vol := s.X[i+1] - s.X[i]
+		if vol <= 0 {
+			return 0, fmt.Errorf("ref1d: cell %d inverted at step %d", i, s.StepCount)
+		}
+		s.Rho[i] = s.Mass[i] / vol
+		ul := 0.5 * (s.u0[i] + s.U[i])
+		ur := 0.5 * (s.u0[i+1] + s.U[i+1])
+		w := (s.P[i] + s.Q[i]) * (ur - ul)
+		s.Ein[i] = s.ein0[i] - dt*w/s.Mass[i]
+		if s.Ein[i] < 0 && s.Mat[i].EnergyDependent() {
+			s.Ein[i] = 0
+		}
+	}
+	s.eosEval()
+
+	s.Time += dt
+	s.DtPrev = dt
+	s.StepCount++
+	return dt, nil
+}
+
+// Run advances to tEnd.
+func (s *Solver) Run(tEnd float64) error {
+	for s.Time < tEnd-1e-12 {
+		dtNext := tEnd - s.Time
+		// Clamp the step so the run ends exactly at tEnd.
+		save := s.Opt.DtGrowth
+		if s.getDt() > dtNext && s.StepCount > 0 {
+			s.Opt.DtGrowth = dtNext / s.DtPrev
+		}
+		_, err := s.Step()
+		s.Opt.DtGrowth = save
+		if err != nil {
+			return err
+		}
+		if s.StepCount > 10_000_000 {
+			return fmt.Errorf("ref1d: step cap reached at t=%v", s.Time)
+		}
+	}
+	return nil
+}
+
+// Centroids returns cell-centre positions.
+func (s *Solver) Centroids() []float64 {
+	out := make([]float64, len(s.Rho))
+	for i := range out {
+		out[i] = 0.5 * (s.X[i] + s.X[i+1])
+	}
+	return out
+}
+
+// TotalEnergy returns internal plus kinetic energy.
+func (s *Solver) TotalEnergy() float64 {
+	var e float64
+	for i := range s.Rho {
+		e += s.Mass[i] * s.Ein[i]
+	}
+	for i := range s.U {
+		e += 0.5 * s.NdMass[i] * s.U[i] * s.U[i]
+	}
+	return e
+}
+
+// SodTube builds the standard Sod problem with n cells.
+func SodTube(n int) (*Solver, error) {
+	g, err := eos.NewIdealGas(1.4)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n+1)
+	rho := make([]float64, n)
+	ein := make([]float64, n)
+	mats := make([]eos.Material, n)
+	for i := 0; i <= n; i++ {
+		x[i] = float64(i) / float64(n)
+	}
+	for i := 0; i < n; i++ {
+		mats[i] = g
+		if 0.5*(x[i]+x[i+1]) < 0.5 {
+			rho[i] = 1
+			ein[i] = 1.0 / (0.4 * 1.0)
+		} else {
+			rho[i] = 0.125
+			ein[i] = 0.1 / (0.4 * 0.125)
+		}
+	}
+	return New(DefaultOptions(), x, rho, ein, mats)
+}

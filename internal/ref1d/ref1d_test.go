@@ -1,0 +1,172 @@
+package ref1d
+
+import (
+	"math"
+	"testing"
+
+	"bookleaf/internal/eos"
+	"bookleaf/internal/exact"
+)
+
+func TestSodMatchesExactRiemann(t *testing.T) {
+	s, err := SodTube(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(0.25); err != nil {
+		t.Fatal(err)
+	}
+	rp := exact.Sod(0.5)
+	cx := s.Centroids()
+	var l1 float64
+	for i, x := range cx {
+		ref, err := rp.Sample(x, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1 += math.Abs(s.Rho[i] - ref.Rho)
+	}
+	l1 /= float64(len(cx))
+	if l1 > 0.012 {
+		t.Fatalf("1-D Sod L1 error %v, want < 0.012", l1)
+	}
+}
+
+func TestEnergyConservedWithWalls(t *testing.T) {
+	s, err := SodTube(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.TotalEnergy()
+	if err := s.Run(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if drift := math.Abs(s.TotalEnergy()-e0) / e0; drift > 1e-11 {
+		t.Fatalf("energy drift %v", drift)
+	}
+}
+
+func TestMassExactlyConserved(t *testing.T) {
+	s, _ := SodTube(80)
+	var m0 float64
+	for i := range s.Mass {
+		m0 += s.Mass[i]
+	}
+	if err := s.Run(0.2); err != nil {
+		t.Fatal(err)
+	}
+	var m1, mRho float64
+	for i := range s.Mass {
+		m1 += s.Mass[i]
+		mRho += s.Rho[i] * (s.X[i+1] - s.X[i])
+	}
+	if m1 != m0 {
+		t.Fatalf("mass changed %v -> %v", m0, m1)
+	}
+	if math.Abs(mRho-m0) > 1e-12*m0 {
+		t.Fatalf("rho*vol inconsistent with mass: %v vs %v", mRho, m0)
+	}
+}
+
+func TestPistonPostShockState(t *testing.T) {
+	// Unit piston into cold gamma=5/3 gas: shock speed 4/3, post-shock
+	// density 4.
+	const n = 400
+	g, _ := eos.NewIdealGas(5.0 / 3.0)
+	x := make([]float64, n+1)
+	rho := make([]float64, n)
+	ein := make([]float64, n)
+	mats := make([]eos.Material, n)
+	for i := 0; i <= n; i++ {
+		x[i] = float64(i) / float64(n)
+	}
+	for i := 0; i < n; i++ {
+		rho[i] = 1
+		ein[i] = 1e-9
+		mats[i] = g
+	}
+	opt := DefaultOptions()
+	opt.Left = Piston
+	opt.PistonU = 1
+	s, err := New(opt, x, rho, ein, mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.U[0] = 1
+	if err := s.Run(0.5); err != nil {
+		t.Fatal(err)
+	}
+	// At t=0.5 the piston is at 0.5, the shock at 2/3.
+	cx := s.Centroids()
+	var behind []float64
+	for i, xx := range cx {
+		if xx > 0.52 && xx < 0.62 {
+			behind = append(behind, s.Rho[i])
+		}
+	}
+	if len(behind) == 0 {
+		t.Fatal("no post-shock samples")
+	}
+	var sum float64
+	for _, v := range behind {
+		sum += v
+	}
+	if m := sum / float64(len(behind)); math.Abs(m-4) > 0.25 {
+		t.Fatalf("post-shock density %v, want 4", m)
+	}
+	// Shock position.
+	front := 0.0
+	for i, xx := range cx {
+		if s.Rho[i] > 2 && xx > front {
+			front = xx
+		}
+	}
+	if math.Abs(front-2.0/3.0) > 0.03 {
+		t.Fatalf("shock front at %v, want 2/3", front)
+	}
+}
+
+func TestConvergenceWithResolution(t *testing.T) {
+	rp := exact.Sod(0.5)
+	errAt := func(n int) float64 {
+		s, err := SodTube(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(0.25); err != nil {
+			t.Fatal(err)
+		}
+		cx := s.Centroids()
+		var l1 float64
+		for i, x := range cx {
+			ref, _ := rp.Sample(x, 0.25)
+			l1 += math.Abs(s.Rho[i] - ref.Rho)
+		}
+		return l1 / float64(len(cx))
+	}
+	e100 := errAt(100)
+	e200 := errAt(200)
+	e400 := errAt(400)
+	if !(e400 < e200 && e200 < e100) {
+		t.Fatalf("no convergence: %v, %v, %v", e100, e200, e400)
+	}
+	// At least ~0.7th order on the shock-dominated profile.
+	order := math.Log2(e100/e400) / 2
+	if order < 0.6 {
+		t.Fatalf("convergence order %v too low (errors %v %v %v)", order, e100, e200, e400)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g, _ := eos.NewIdealGas(1.4)
+	mats := []eos.Material{g, g}
+	if _, err := New(DefaultOptions(), []float64{0, 1}, []float64{1, 1}, []float64{1, 1}, mats); err == nil {
+		t.Fatal("short node array accepted")
+	}
+	if _, err := New(DefaultOptions(), []float64{0, 0.5, 0.4}, []float64{1, 1}, []float64{1, 1}, mats); err == nil {
+		t.Fatal("non-monotone nodes accepted")
+	}
+	if _, err := New(DefaultOptions(), []float64{0, 0.5, 1}, []float64{1, -1}, []float64{1, 1}, mats); err == nil {
+		t.Fatal("negative density accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Package timers provides the named, accumulating kernel timers used
+// throughout BookLeaf to produce the per-kernel performance breakdowns
+// reported in the paper (Table II). A Set maps kernel names to
+// accumulated wall-clock durations and invocation counts; it can render
+// itself as the paper-style "seconds (percent)" table.
+//
+// Timers are cheap (a map lookup and a monotonic clock read per
+// start/stop pair) and are not safe for concurrent use by multiple
+// goroutines: in parallel runs each rank owns a private Set and the
+// driver merges them with Merge at the end.
+package timers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timer accumulates wall time for one named kernel.
+type Timer struct {
+	Name    string
+	Elapsed time.Duration
+	Count   int64
+
+	started time.Time
+	running bool
+}
+
+// Start begins a timing interval. Starting an already-running timer
+// panics: nested starts of the same kernel indicate a driver bug.
+func (t *Timer) Start() {
+	if t.running {
+		panic("timers: Start on running timer " + t.Name)
+	}
+	t.running = true
+	t.started = time.Now()
+}
+
+// Stop ends the current interval and accumulates it.
+func (t *Timer) Stop() {
+	if !t.running {
+		panic("timers: Stop on stopped timer " + t.Name)
+	}
+	t.Elapsed += time.Since(t.started)
+	t.Count++
+	t.running = false
+}
+
+// Running reports whether the timer is inside a Start/Stop interval.
+func (t *Timer) Running() bool { return t.running }
+
+// Set is a registry of named timers.
+type Set struct {
+	byName map[string]*Timer
+	order  []string // registration order, for stable reporting
+}
+
+// NewSet returns an empty timer registry.
+func NewSet() *Set {
+	return &Set{byName: make(map[string]*Timer)}
+}
+
+// Get returns the timer with the given name, creating it on first use.
+func (s *Set) Get(name string) *Timer {
+	if t, ok := s.byName[name]; ok {
+		return t
+	}
+	t := &Timer{Name: name}
+	s.byName[name] = t
+	s.order = append(s.order, name)
+	return t
+}
+
+// Start is shorthand for Get(name).Start().
+func (s *Set) Start(name string) { s.Get(name).Start() }
+
+// Stop is shorthand for Get(name).Stop().
+func (s *Set) Stop(name string) { s.Get(name).Stop() }
+
+// Time runs fn inside a Start/Stop pair for name.
+func (s *Set) Time(name string, fn func()) {
+	t := s.Get(name)
+	t.Start()
+	defer t.Stop()
+	fn()
+}
+
+// Elapsed returns the accumulated time for name (zero if never started).
+func (s *Set) Elapsed(name string) time.Duration {
+	if t, ok := s.byName[name]; ok {
+		return t.Elapsed
+	}
+	return 0
+}
+
+// Count returns the number of completed intervals for name.
+func (s *Set) Count(name string) int64 {
+	if t, ok := s.byName[name]; ok {
+		return t.Count
+	}
+	return 0
+}
+
+// Names returns the timer names in registration order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Total returns the sum of all accumulated durations.
+func (s *Set) Total() time.Duration {
+	var sum time.Duration
+	for _, n := range s.order {
+		sum += s.byName[n].Elapsed
+	}
+	return sum
+}
+
+// Merge adds the accumulated durations and counts of other into s.
+// Used to combine per-rank timer sets; the merged set holds the sum of
+// rank times (CPU-seconds), while MergeMax holds the critical path.
+func (s *Set) Merge(other *Set) {
+	for _, n := range other.order {
+		o := other.byName[n]
+		t := s.Get(n)
+		t.Elapsed += o.Elapsed
+		t.Count += o.Count
+	}
+}
+
+// MergeMax folds other into s keeping, per timer, the maximum elapsed
+// time (the slowest rank determines wall-clock in a bulk-synchronous
+// run) and the maximum count.
+func (s *Set) MergeMax(other *Set) {
+	for _, n := range other.order {
+		o := other.byName[n]
+		t := s.Get(n)
+		if o.Elapsed > t.Elapsed {
+			t.Elapsed = o.Elapsed
+		}
+		if o.Count > t.Count {
+			t.Count = o.Count
+		}
+	}
+}
+
+// Snapshot returns name→seconds for all timers.
+func (s *Set) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(s.order))
+	for _, n := range s.order {
+		out[n] = s.byName[n].Elapsed.Seconds()
+	}
+	return out
+}
+
+// Table renders the paper-style breakdown: one row per timer with
+// seconds and percentage of the total, sorted by descending time.
+func (s *Set) Table() string {
+	total := s.Total().Seconds()
+	type row struct {
+		name string
+		sec  float64
+		cnt  int64
+	}
+	rows := make([]row, 0, len(s.order))
+	for _, n := range s.order {
+		t := s.byName[n]
+		rows = append(rows, row{n, t.Elapsed.Seconds(), t.Count})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sec > rows[j].sec })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %8s %8s\n", "kernel", "seconds", "percent", "calls")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.sec / total
+		}
+		fmt.Fprintf(&b, "%-16s %12.6f %7.1f%% %8d\n", r.name, r.sec, pct, r.cnt)
+	}
+	fmt.Fprintf(&b, "%-16s %12.6f\n", "total", total)
+	return b.String()
+}
+
+// Reset zeroes all timers but keeps their registration.
+func (s *Set) Reset() {
+	for _, n := range s.order {
+		t := s.byName[n]
+		t.Elapsed = 0
+		t.Count = 0
+		t.running = false
+	}
+}

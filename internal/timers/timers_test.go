@@ -1,0 +1,172 @@
+package timers
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartStopAccumulates(t *testing.T) {
+	s := NewSet()
+	s.Start("k")
+	time.Sleep(2 * time.Millisecond)
+	s.Stop("k")
+	if s.Elapsed("k") <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", s.Elapsed("k"))
+	}
+	if s.Count("k") != 1 {
+		t.Fatalf("count = %d, want 1", s.Count("k"))
+	}
+	first := s.Elapsed("k")
+	s.Start("k")
+	s.Stop("k")
+	if s.Elapsed("k") < first {
+		t.Fatalf("elapsed shrank: %v < %v", s.Elapsed("k"), first)
+	}
+	if s.Count("k") != 2 {
+		t.Fatalf("count = %d, want 2", s.Count("k"))
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	s := NewSet()
+	s.Start("k")
+	s.Start("k")
+}
+
+func TestStopWithoutStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stop without Start did not panic")
+		}
+	}()
+	NewSet().Stop("k")
+}
+
+func TestTimeHelper(t *testing.T) {
+	s := NewSet()
+	ran := false
+	s.Time("fn", func() { ran = true })
+	if !ran {
+		t.Fatal("Time did not run fn")
+	}
+	if s.Count("fn") != 1 {
+		t.Fatalf("count = %d, want 1", s.Count("fn"))
+	}
+}
+
+func TestUnknownTimerQueries(t *testing.T) {
+	s := NewSet()
+	if s.Elapsed("nope") != 0 || s.Count("nope") != 0 {
+		t.Fatal("unknown timer should read as zero")
+	}
+}
+
+func TestNamesOrderStable(t *testing.T) {
+	s := NewSet()
+	for _, n := range []string{"b", "a", "c"} {
+		s.Get(n)
+	}
+	got := s.Names()
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeSumsAndMergeMax(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Get("k").Elapsed = 2 * time.Second
+	a.Get("k").Count = 3
+	b.Get("k").Elapsed = 5 * time.Second
+	b.Get("k").Count = 1
+	b.Get("only").Elapsed = time.Second
+
+	sum := NewSet()
+	sum.Merge(a)
+	sum.Merge(b)
+	if sum.Elapsed("k") != 7*time.Second {
+		t.Fatalf("merged elapsed = %v, want 7s", sum.Elapsed("k"))
+	}
+	if sum.Count("k") != 4 {
+		t.Fatalf("merged count = %d, want 4", sum.Count("k"))
+	}
+	if sum.Elapsed("only") != time.Second {
+		t.Fatalf("merged new timer = %v, want 1s", sum.Elapsed("only"))
+	}
+
+	mx := NewSet()
+	mx.MergeMax(a)
+	mx.MergeMax(b)
+	if mx.Elapsed("k") != 5*time.Second {
+		t.Fatalf("max elapsed = %v, want 5s", mx.Elapsed("k"))
+	}
+	if mx.Count("k") != 3 {
+		t.Fatalf("max count = %d, want 3", mx.Count("k"))
+	}
+}
+
+func TestTotalAndTable(t *testing.T) {
+	s := NewSet()
+	s.Get("big").Elapsed = 3 * time.Second
+	s.Get("small").Elapsed = time.Second
+	if s.Total() != 4*time.Second {
+		t.Fatalf("total = %v, want 4s", s.Total())
+	}
+	tab := s.Table()
+	if !strings.Contains(tab, "big") || !strings.Contains(tab, "small") {
+		t.Fatalf("table missing rows:\n%s", tab)
+	}
+	// Descending order: "big" row before "small" row.
+	if strings.Index(tab, "big") > strings.Index(tab, "small") {
+		t.Fatalf("table not sorted by time:\n%s", tab)
+	}
+	if !strings.Contains(tab, "75.0%") {
+		t.Fatalf("expected 75%% share for big:\n%s", tab)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSet()
+	s.Get("k").Elapsed = time.Second
+	s.Get("k").Count = 9
+	s.Reset()
+	if s.Elapsed("k") != 0 || s.Count("k") != 0 {
+		t.Fatal("reset did not zero timer")
+	}
+	if len(s.Names()) != 1 {
+		t.Fatal("reset dropped registration")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := NewSet()
+	s.Get("k").Elapsed = 1500 * time.Millisecond
+	snap := s.Snapshot()
+	if snap["k"] != 1.5 {
+		t.Fatalf("snapshot = %v, want 1.5", snap["k"])
+	}
+}
+
+func TestRunningFlag(t *testing.T) {
+	s := NewSet()
+	tm := s.Get("k")
+	if tm.Running() {
+		t.Fatal("new timer should not be running")
+	}
+	tm.Start()
+	if !tm.Running() {
+		t.Fatal("started timer should be running")
+	}
+	tm.Stop()
+	if tm.Running() {
+		t.Fatal("stopped timer should not be running")
+	}
+}

@@ -1,0 +1,56 @@
+package typhon
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkAllReduceMin(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks-%d", n), func(b *testing.B) {
+			c, err := NewComm(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			c.Run(func(r *Rank) {
+				for i := 0; i < b.N; i++ {
+					r.AllReduceMin(float64(r.ID() + i))
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkHaloExchange(b *testing.B) {
+	// Ring exchange of a 1000-entry halo between 4 ranks.
+	const n = 4
+	const halo = 1000
+	for _, fields := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fields-%d", fields), func(b *testing.B) {
+			c, err := NewComm(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			c.Run(func(r *Rank) {
+				right := (r.ID() + 1) % n
+				left := (r.ID() + n - 1) % n
+				send := make([]int, halo)
+				recv := make([]int, halo)
+				for i := range send {
+					send[i] = i
+					recv[i] = halo + i
+				}
+				h := NewHalo(map[int][]int{right: send}, map[int][]int{left: recv})
+				data := make([][]float64, fields)
+				for f := range data {
+					data[f] = make([]float64, 2*halo)
+				}
+				for i := 0; i < b.N; i++ {
+					r.Exchange(h, 1, data...)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,278 @@
+// Package typhon is a from-scratch, in-process reimplementation of the
+// role Typhon plays in BookLeaf: a distributed communication library for
+// unstructured-mesh applications, layered on a message-passing backend.
+// The paper's Typhon runs on MPI; here ranks are goroutines and
+// point-to-point transfers are typed channels, preserving the
+// communication structure the paper studies — halo exchanges of
+// registered quantities at fixed phase points and a single global
+// reduction per timestep for dt — while substituting the transport.
+//
+// Semantics mirror MPI closely enough for the hydro driver:
+//
+//   - Send copies the payload before enqueueing (no aliasing between
+//     ranks), Recv blocks until a matching message arrives; messages
+//     between a rank pair are delivered in order.
+//   - AllReduceMin/Sum/MinLoc and Barrier are collectives over all
+//     ranks; every rank must call them in the same order.
+//
+// Deadlock note: channels are buffered, so the halo-exchange pattern
+// "send to all neighbours, then receive from all neighbours" cannot
+// deadlock regardless of rank scheduling.
+package typhon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Comm is a communicator over a fixed number of ranks.
+type Comm struct {
+	n     int
+	chans [][]chan []float64 // chans[src][dst]
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	gen     int
+	redVals []float64
+	redLocs []int
+
+	// Per-rank traffic counters (each written only by its own rank's
+	// goroutine; read after Run returns).
+	sentMsgs  []int64
+	sentWords []int64
+}
+
+// NewComm creates a communicator with n ranks.
+func NewComm(n int) (*Comm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("typhon: communicator needs >= 1 rank, got %d", n)
+	}
+	c := &Comm{
+		n: n, redVals: make([]float64, n), redLocs: make([]int, n),
+		sentMsgs: make([]int64, n), sentWords: make([]int64, n),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.chans = make([][]chan []float64, n)
+	for s := 0; s < n; s++ {
+		c.chans[s] = make([]chan []float64, n)
+		for d := 0; d < n; d++ {
+			if d != s {
+				// Buffer depth 8: enough outstanding messages for
+				// several overlapping exchange phases per pair.
+				c.chans[s][d] = make(chan []float64, 8)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.n }
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. A panicking rank propagates its panic to the caller after the
+// others finish or block.
+func (c *Comm) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(c.n)
+	panics := make([]any, c.n)
+	for id := 0; id < c.n; id++ {
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[id] = p
+				}
+			}()
+			body(&Rank{comm: c, id: id})
+		}(id)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Rank is one process's handle on the communicator.
+type Rank struct {
+	comm *Comm
+	id   int
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.n }
+
+// Send copies data and enqueues it for dst. Sending to self panics —
+// local data never travels through the halo machinery.
+func (r *Rank) Send(dst int, data []float64) {
+	if dst == r.id {
+		panic("typhon: send to self")
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	r.comm.sentMsgs[r.id]++
+	r.comm.sentWords[r.id] += int64(len(buf))
+	r.comm.chans[r.id][dst] <- buf
+}
+
+// Recv blocks until the next message from src arrives and returns it.
+func (r *Rank) Recv(src int) []float64 {
+	if src == r.id {
+		panic("typhon: recv from self")
+	}
+	return <-r.comm.chans[src][r.id]
+}
+
+// barrier blocks until all ranks arrive. The mutex hand-off makes all
+// writes before the barrier visible to all ranks after it.
+func (c *Comm) barrier() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	if c.count == c.n {
+		c.count = 0
+		c.gen++
+		c.cond.Broadcast()
+		return
+	}
+	g := c.gen
+	for c.gen == g {
+		c.cond.Wait()
+	}
+}
+
+// Barrier blocks until every rank has called it.
+func (r *Rank) Barrier() { r.comm.barrier() }
+
+// AllReduceMin returns the global minimum of v across ranks.
+func (r *Rank) AllReduceMin(v float64) float64 {
+	m, _ := r.AllReduceMinLoc(v, r.id)
+	return m
+}
+
+// AllReduceMinLoc returns the global minimum and the loc tag supplied
+// by the rank holding it (ties resolve to the lowest rank), mirroring
+// MPI_MINLOC — BookLeaf uses it to report the timestep-controlling
+// element.
+func (r *Rank) AllReduceMinLoc(v float64, loc int) (float64, int) {
+	c := r.comm
+	c.redVals[r.id] = v
+	c.redLocs[r.id] = loc
+	c.barrier()
+	min, ml := c.redVals[0], c.redLocs[0]
+	for i := 1; i < c.n; i++ {
+		if c.redVals[i] < min {
+			min, ml = c.redVals[i], c.redLocs[i]
+		}
+	}
+	// Second barrier so no rank overwrites redVals for a subsequent
+	// reduction while others still read.
+	c.barrier()
+	return min, ml
+}
+
+// AllReduceSum returns the sum of v across ranks. The combination order
+// is rank order on every rank, so all ranks get bit-identical results.
+func (r *Rank) AllReduceSum(v float64) float64 {
+	c := r.comm
+	c.redVals[r.id] = v
+	c.barrier()
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += c.redVals[i]
+	}
+	c.barrier()
+	return s
+}
+
+// Stats returns the total messages and float64 words sent across all
+// ranks since the communicator was created — the comm-volume metrics a
+// halo-exchange study reports.
+func (c *Comm) Stats() (msgs, words int64) {
+	for i := 0; i < c.n; i++ {
+		msgs += c.sentMsgs[i]
+		words += c.sentWords[i]
+	}
+	return msgs, words
+}
+
+// Halo describes one registered exchange pattern: for each neighbour
+// rank, which local indices to send and which local (ghost) indices to
+// fill on receive. Matching Send/Recv lists on the two ends must have
+// equal lengths and consistent entity order; partition.Split builds
+// them that way.
+type Halo struct {
+	SendTo   map[int][]int
+	RecvFrom map[int][]int
+	// neighbours in deterministic order
+	sendOrder []int
+	recvOrder []int
+}
+
+// NewHalo builds a Halo from send/recv index lists keyed by rank.
+func NewHalo(sendTo, recvFrom map[int][]int) *Halo {
+	h := &Halo{SendTo: sendTo, RecvFrom: recvFrom}
+	for dst := range sendTo {
+		h.sendOrder = append(h.sendOrder, dst)
+	}
+	for src := range recvFrom {
+		h.recvOrder = append(h.recvOrder, src)
+	}
+	sortInts(h.sendOrder)
+	sortInts(h.recvOrder)
+	return h
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Exchange refreshes ghost entries of the given fields: for each
+// neighbour the send-list entries of every field are packed into one
+// message; received messages are unpacked into the recv-list entries.
+// stride is the number of consecutive array slots per entity (1 for
+// nodal/element scalars, 8 for per-corner force pairs, etc.).
+func (r *Rank) Exchange(h *Halo, stride int, fields ...[]float64) {
+	if stride < 1 {
+		panic("typhon: stride must be >= 1")
+	}
+	// Post all sends first (buffered channels make this safe), then
+	// drain receives — the classic halo-exchange schedule.
+	for _, dst := range h.sendOrder {
+		idx := h.SendTo[dst]
+		buf := make([]float64, 0, len(idx)*stride*len(fields))
+		for _, f := range fields {
+			for _, i := range idx {
+				buf = append(buf, f[i*stride:(i+1)*stride]...)
+			}
+		}
+		r.comm.sentMsgs[r.id]++
+		r.comm.sentWords[r.id] += int64(len(buf))
+		r.comm.chans[r.id][dst] <- buf
+	}
+	for _, src := range h.recvOrder {
+		idx := h.RecvFrom[src]
+		buf := <-r.comm.chans[src][r.id]
+		want := len(idx) * stride * len(fields)
+		if len(buf) != want {
+			panic(fmt.Sprintf("typhon: exchange size mismatch from rank %d: got %d want %d", src, len(buf), want))
+		}
+		pos := 0
+		for _, f := range fields {
+			for _, i := range idx {
+				copy(f[i*stride:(i+1)*stride], buf[pos:pos+stride])
+				pos += stride
+			}
+		}
+	}
+}

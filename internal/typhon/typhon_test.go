@@ -1,0 +1,244 @@
+package typhon
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewCommRejectsZeroRanks(t *testing.T) {
+	if _, err := NewComm(0); err == nil {
+		t.Fatal("0 ranks accepted")
+	}
+}
+
+func TestRunSpawnsAllRanks(t *testing.T) {
+	c, _ := NewComm(5)
+	var mask int32
+	c.Run(func(r *Rank) {
+		atomic.OrInt32(&mask, 1<<r.ID())
+		if r.Size() != 5 {
+			t.Errorf("Size = %d, want 5", r.Size())
+		}
+	})
+	if mask != 31 {
+		t.Fatalf("rank mask = %b, want 11111", mask)
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, []float64{1, 2, 3})
+			got := r.Recv(1)
+			if len(got) != 1 || got[0] != 9 {
+				t.Errorf("rank 0 received %v", got)
+			}
+		} else {
+			got := r.Recv(0)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("rank 1 received %v", got)
+			}
+			r.Send(0, []float64{9})
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			data := []float64{42}
+			r.Send(1, data)
+			data[0] = -1 // mutate after send; receiver must see 42
+			r.Barrier()
+		} else {
+			got := r.Recv(0)
+			r.Barrier()
+			if got[0] != 42 {
+				t.Errorf("received %v, want 42 (payload aliased?)", got[0])
+			}
+		}
+	})
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 10; i++ {
+				r.Send(1, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if got := r.Recv(0); got[0] != float64(i) {
+					t.Errorf("message %d out of order: %v", i, got[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	c, _ := NewComm(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	c.Run(func(r *Rank) { r.Send(0, nil) })
+}
+
+func TestAllReduceMin(t *testing.T) {
+	c, _ := NewComm(7)
+	c.Run(func(r *Rank) {
+		v := float64(10 - r.ID())
+		if m := r.AllReduceMin(v); m != 4 {
+			t.Errorf("rank %d: min = %v, want 4", r.ID(), m)
+		}
+	})
+}
+
+func TestAllReduceMinLoc(t *testing.T) {
+	c, _ := NewComm(4)
+	c.Run(func(r *Rank) {
+		vals := []float64{5, 1, 3, 1}
+		m, loc := r.AllReduceMinLoc(vals[r.ID()], 100+r.ID())
+		if m != 1 || loc != 101 {
+			t.Errorf("rank %d: minloc = (%v,%d), want (1,101)", r.ID(), m, loc)
+		}
+	})
+}
+
+func TestAllReduceSumDeterministic(t *testing.T) {
+	c, _ := NewComm(6)
+	results := make([]float64, 6)
+	c.Run(func(r *Rank) {
+		results[r.ID()] = r.AllReduceSum(0.1 * float64(r.ID()+1))
+	})
+	for i := 1; i < 6; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("sum differs between ranks: %v vs %v", results[i], results[0])
+		}
+	}
+	if math.Abs(results[0]-2.1) > 1e-12 {
+		t.Fatalf("sum = %v, want 2.1", results[0])
+	}
+}
+
+func TestRepeatedReductionsDoNotInterfere(t *testing.T) {
+	c, _ := NewComm(4)
+	c.Run(func(r *Rank) {
+		for i := 0; i < 50; i++ {
+			want := float64(i)
+			got := r.AllReduceMin(want + float64(r.ID()))
+			if got != want {
+				t.Errorf("iteration %d: min = %v, want %v", i, got, want)
+				return
+			}
+		}
+	})
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	c, _ := NewComm(8)
+	var before, wrong int32
+	c.Run(func(r *Rank) {
+		atomic.AddInt32(&before, 1)
+		r.Barrier()
+		if atomic.LoadInt32(&before) != 8 {
+			atomic.AddInt32(&wrong, 1)
+		}
+	})
+	if wrong != 0 {
+		t.Fatalf("%d ranks passed the barrier before all arrived", wrong)
+	}
+}
+
+func TestExchangeScalarHalo(t *testing.T) {
+	// Two ranks, each owning 3 entries plus 1 ghost mirroring the
+	// neighbour's entry 2.
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		field := []float64{0, 0, 0, -1} // 3 owned + 1 ghost
+		for i := 0; i < 3; i++ {
+			field[i] = float64(10*r.ID() + i)
+		}
+		other := 1 - r.ID()
+		h := NewHalo(
+			map[int][]int{other: {2}},
+			map[int][]int{other: {3}},
+		)
+		r.Exchange(h, 1, field)
+		want := float64(10*other + 2)
+		if field[3] != want {
+			t.Errorf("rank %d ghost = %v, want %v", r.ID(), field[3], want)
+		}
+	})
+}
+
+func TestExchangeStrided(t *testing.T) {
+	// Per-entity stride 2 (e.g. x/y pairs packed).
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		field := make([]float64, 4) // entity 0 owned, entity 1 ghost
+		field[0] = float64(r.ID()) + 0.25
+		field[1] = float64(r.ID()) + 0.5
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		r.Exchange(h, 2, field)
+		if field[2] != float64(other)+0.25 || field[3] != float64(other)+0.5 {
+			t.Errorf("rank %d strided ghost = %v", r.ID(), field[2:])
+		}
+	})
+}
+
+func TestExchangeMultipleFields(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		a := []float64{float64(r.ID() + 1), 0}
+		b := []float64{float64(r.ID() + 10), 0}
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		r.Exchange(h, 1, a, b)
+		if a[1] != float64(other+1) || b[1] != float64(other+10) {
+			t.Errorf("rank %d multi-field ghosts = %v %v", r.ID(), a[1], b[1])
+		}
+	})
+}
+
+func TestExchangeRing(t *testing.T) {
+	// 4 ranks in a ring; each sends its owned value right and receives
+	// from the left. Repeated to catch ordering bugs.
+	c, _ := NewComm(4)
+	c.Run(func(r *Rank) {
+		right := (r.ID() + 1) % 4
+		left := (r.ID() + 3) % 4
+		h := NewHalo(map[int][]int{right: {0}}, map[int][]int{left: {1}})
+		field := []float64{0, -1}
+		for iter := 0; iter < 20; iter++ {
+			field[0] = float64(100*iter + r.ID())
+			r.Exchange(h, 1, field)
+			if field[1] != float64(100*iter+left) {
+				t.Errorf("iter %d rank %d got %v", iter, r.ID(), field[1])
+				return
+			}
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	c, _ := NewComm(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic not propagated from rank")
+		}
+	}()
+	c.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic("rank failure")
+		}
+	})
+}

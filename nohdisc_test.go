@@ -1,0 +1,44 @@
+package bookleaf_test
+
+import (
+	"testing"
+
+	"bookleaf"
+)
+
+// Noh on the quarter-disc mesh: the mesh-alignment ablation. The arc
+// boundary lies exactly on the physical r=1 circle and the converging
+// flow is better aligned with the cell layout, so the post-shock
+// plateau should be at least as good as on the Cartesian quadrant.
+func TestNohDiscMeshAblation(t *testing.T) {
+	plateau := func(cfg bookleaf.Config) float64 {
+		res := run(t, cfg)
+		rs, rho := res.RadialProfile(res.Rho)
+		var vals []float64
+		for i, r := range rs {
+			if r > 0.05 && r < 0.15 {
+				vals = append(vals, rho[i])
+			}
+		}
+		if len(vals) < 5 {
+			t.Fatalf("too few plateau samples")
+		}
+		return median(vals)
+	}
+	disc := plateau(bookleaf.Config{Problem: "nohdisc", NX: 40, NY: 40})
+	cart := plateau(bookleaf.Config{Problem: "noh", NX: 40, NY: 40})
+	// Both must capture a strong shock (exact plateau 16).
+	if disc < 11.5 || cart < 11.5 {
+		t.Fatalf("plateaus too low: disc %v cart %v", disc, cart)
+	}
+	if disc < cart-0.8 {
+		t.Fatalf("disc mesh (%v) notably worse than Cartesian (%v)", disc, cart)
+	}
+}
+
+func TestNohDiscEnergyConserved(t *testing.T) {
+	res := run(t, bookleaf.Config{Problem: "nohdisc", NX: 32, NY: 32, TEnd: 0.3})
+	if drift := res.EnergyDrift(); drift > 1e-9 {
+		t.Fatalf("energy drift %v", drift)
+	}
+}

@@ -1,0 +1,248 @@
+package bookleaf
+
+import (
+	"fmt"
+
+	"bookleaf/internal/ale"
+	"bookleaf/internal/hydro"
+	"bookleaf/internal/par"
+	"bookleaf/internal/partition"
+	"bookleaf/internal/setup"
+	"bookleaf/internal/timers"
+	"bookleaf/internal/typhon"
+)
+
+// runParallel executes the problem across goroutine ranks with the
+// Typhon-style communication schedule the paper describes: ghost nodal
+// kinematics refreshed for the viscosity limiter, ghost corner forces
+// refreshed immediately before the acceleration calculation, and a
+// single global MINLOC reduction per step for the timestep.
+func runParallel(cfg Config) (*Result, error) {
+	p, err := setup.ByName(cfg.Problem, cfg.NX, cfg.NY, cfg.SedovEnergy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.applyOverrides(&p.Opt)
+
+	var part []int
+	switch cfg.Partitioner {
+	case "metis":
+		part, err = partition.MultilevelMesh(p.Mesh, cfg.Ranks)
+	default:
+		part, err = partition.RCBMesh(p.Mesh, cfg.Ranks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	subs, err := partition.Split(p.Mesh, part, cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	comm, err := typhon.NewComm(cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+
+	tEnd := p.TEnd
+	if cfg.TEnd > 0 {
+		tEnd = cfg.TEnd
+	}
+
+	res := &Result{
+		Problem: p.Name, Ranks: cfg.Ranks, Threads: cfg.Threads,
+		NEl: p.Mesh.NEl, NNd: p.Mesh.NNd,
+		Mesh: p.Mesh, TEnd: tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
+		Rho: make([]float64, p.Mesh.NEl),
+		Ein: make([]float64, p.Mesh.NEl),
+		P:   make([]float64, p.Mesh.NEl),
+		U:   make([]float64, p.Mesh.NNd),
+		V:   make([]float64, p.Mesh.NNd),
+		X:   make([]float64, p.Mesh.NNd),
+		Y:   make([]float64, p.Mesh.NNd),
+	}
+	rankErrs := make([]error, cfg.Ranks)
+	rankTimers := make([]*timers.Set, cfg.Ranks)
+	rankEF := make([]float64, cfg.Ranks)
+	rankMF := make([]float64, cfg.Ranks)
+	rankW := make([]float64, cfg.Ranks)
+	rankF := make([]float64, cfg.Ranks)
+	rankSteps := make([]int, cfg.Ranks)
+	rankTime := make([]float64, cfg.Ranks)
+
+	comm.Run(func(rk *typhon.Rank) {
+		sm := subs[rk.ID()]
+		lm := sm.M
+		// Restrict initial fields to the local mesh.
+		rho := make([]float64, lm.NEl)
+		ein := make([]float64, lm.NEl)
+		for i, ge := range lm.GlobalEl {
+			rho[i] = p.Rho[ge]
+			ein[i] = p.Ein[ge]
+		}
+		s, err := hydro.NewState(lm, p.Opt, rho, ein)
+		if err != nil {
+			rankErrs[rk.ID()] = err
+			rk.AllReduceMin(-1) // let peers abort their first status check
+			return
+		}
+		p.ApplyVelocities(s)
+		s.Pool = par.New(cfg.Threads)
+
+		elHalo := typhon.NewHalo(sm.ElSend, sm.ElRecv)
+		ndHalo := typhon.NewHalo(sm.NdSend, sm.NdRecv)
+
+		var remap *ale.Remapper
+		if a := cfg.aleOptions(); a != nil {
+			remap = ale.NewRemapper(*a, s)
+		}
+		aleHooks := &ale.Hooks{
+			ExchangeCellFields: func(fields ...[]float64) {
+				rk.Exchange(elHalo, 1, fields...)
+			},
+		}
+
+		tm := timers.NewSet()
+		// hooksDone counts the exchange hooks run in the current step
+		// so a failing rank can compensate the ones its peers still
+		// expect (see the failure path below).
+		hooksDone := 0
+		hooks := &hydro.Hooks{
+			ReduceDt: func(dt float64, e int) (float64, int) {
+				loc := -1
+				if e >= 0 {
+					loc = lm.GlobalEl[e]
+				}
+				dt, loc = rk.AllReduceMinLoc(dt, loc)
+				if s.Time+dt > tEnd {
+					dt = tEnd - s.Time
+				}
+				return dt, loc
+			},
+			ExchangeForces: func(st *hydro.State) {
+				hooksDone++
+				rk.Exchange(elHalo, 4, st.FX, st.FY)
+			},
+			ExchangeVelocities: func(st *hydro.State) {
+				hooksDone++
+				rk.Exchange(ndHalo, 1, st.U, st.V, st.UBar, st.VBar)
+			},
+		}
+
+		var myErr error
+		for {
+			// Collective status check: any failed rank aborts all.
+			status := 1.0
+			if myErr != nil {
+				status = -1
+			}
+			if rk.AllReduceMin(status) < 0 {
+				break
+			}
+			if s.Time >= tEnd-1e-12 {
+				break
+			}
+			if cfg.MaxSteps > 0 && s.StepCount >= cfg.MaxSteps {
+				break
+			}
+			hooksDone = 0
+			if _, err := s.Step(tm, hooks); err != nil {
+				myErr = fmt.Errorf("rank %d step %d: %w", rk.ID(), s.StepCount, err)
+				// Compensate the exchanges peers will still perform
+				// this step, keeping the schedule deadlock-free.
+				if hooksDone < 1 {
+					rk.Exchange(elHalo, 4, s.FX, s.FY)
+				}
+				if hooksDone < 2 {
+					rk.Exchange(ndHalo, 1, s.U, s.V, s.UBar, s.VBar)
+				}
+				// Peers that completed the step will also run the
+				// remap exchange (their StepCount is one ahead).
+				if remap != nil && (s.StepCount+1)%cfg.ALEFreq == 0 {
+					remap.ExchangeScratch(aleHooks)
+					rk.Exchange(ndHalo, 1, s.U, s.V)
+				}
+				continue
+			}
+			if remap != nil && s.StepCount%cfg.ALEFreq == 0 {
+				tm.Start(hydro.TimerALE)
+				err := remap.Apply(s, tm, aleHooks)
+				// Ghost velocities changed by the remap on owner
+				// ranks: refresh them for the next viscosity
+				// calculation. Performed even on failure so peers
+				// don't block.
+				rk.Exchange(ndHalo, 1, s.U, s.V)
+				tm.Stop(hydro.TimerALE)
+				if err != nil {
+					myErr = fmt.Errorf("rank %d remap step %d: %w", rk.ID(), s.StepCount, err)
+				}
+			}
+		}
+
+		// Gather owned entries into the global result (disjoint
+		// writes; the Run waitgroup publishes them to the caller).
+		for i := 0; i < lm.NOwnEl; i++ {
+			ge := lm.GlobalEl[i]
+			res.Rho[ge] = s.Rho[i]
+			res.Ein[ge] = s.Ein[i]
+			res.P[ge] = s.P[i]
+		}
+		for i := 0; i < lm.NOwnNd; i++ {
+			gn := lm.GlobalNd[i]
+			res.U[gn] = s.U[i]
+			res.V[gn] = s.V[i]
+			res.X[gn] = s.X[i]
+			res.Y[gn] = s.Y[i]
+		}
+		rankErrs[rk.ID()] = myErr
+		rankTimers[rk.ID()] = tm
+		rankEF[rk.ID()] = s.TotalEnergy()
+		rankMF[rk.ID()] = s.TotalMass()
+		rankW[rk.ID()] = s.ExternalWork
+		rankF[rk.ID()] = s.FloorEnergy
+		rankSteps[rk.ID()] = s.StepCount
+		rankTime[rk.ID()] = s.Time
+	})
+
+	for _, e := range rankErrs {
+		if e != nil {
+			return nil, fmt.Errorf("bookleaf: %w", e)
+		}
+	}
+	maxT := timers.NewSet()
+	sumT := timers.NewSet()
+	for _, t := range rankTimers {
+		if t == nil {
+			continue
+		}
+		maxT.MergeMax(t)
+		sumT.Merge(t)
+	}
+	res.Timers = maxT.Snapshot()
+	res.TimerSum = sumT.Snapshot()
+	res.Calls = map[string]int64{}
+	for _, n := range maxT.Names() {
+		res.Calls[n] = maxT.Count(n)
+	}
+	res.Steps = rankSteps[0]
+	res.Time = rankTime[0]
+	for _, w := range rankW {
+		res.ExternalWork += w
+	}
+	for _, f := range rankF {
+		res.FloorEnergy += f
+	}
+	for _, e := range rankEF {
+		res.EFinal += e
+	}
+	for _, m := range rankMF {
+		res.MassFinal += m
+	}
+	res.CommMsgs, res.CommWords = comm.Stats()
+	// Initial audits from a cheap serial state on the global mesh.
+	s0, err := p.NewState()
+	if err == nil {
+		res.E0 = s0.TotalEnergy()
+		res.Mass0 = s0.TotalMass()
+	}
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package bookleaf
+
+import (
+	"math"
+	"sort"
+)
+
+// Centroids returns the final element centroid coordinates.
+func (r *Result) Centroids() (cx, cy []float64) {
+	cx = make([]float64, r.Mesh.NEl)
+	cy = make([]float64, r.Mesh.NEl)
+	for e := 0; e < r.Mesh.NEl; e++ {
+		nd := &r.Mesh.ElNd[e]
+		cx[e] = 0.25 * (r.X[nd[0]] + r.X[nd[1]] + r.X[nd[2]] + r.X[nd[3]])
+		cy[e] = 0.25 * (r.Y[nd[0]] + r.Y[nd[1]] + r.Y[nd[2]] + r.Y[nd[3]])
+	}
+	return cx, cy
+}
+
+// XProfile returns element (x-centroid, field) pairs sorted by x —
+// the 1-D profile of quasi-1-D problems (Sod, Saltzmann).
+func (r *Result) XProfile(field []float64) (xs, vals []float64) {
+	cx, _ := r.Centroids()
+	idx := make([]int, len(cx))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cx[idx[a]] < cx[idx[b]] })
+	xs = make([]float64, len(idx))
+	vals = make([]float64, len(idx))
+	for i, e := range idx {
+		xs[i] = cx[e]
+		vals[i] = field[e]
+	}
+	return xs, vals
+}
+
+// RadialProfile returns element (radius, field) pairs sorted by radius
+// from the origin — the 1-D profile of radial problems (Noh, Sedov).
+func (r *Result) RadialProfile(field []float64) (rs, vals []float64) {
+	cx, cy := r.Centroids()
+	idx := make([]int, len(cx))
+	for i := range idx {
+		idx[i] = i
+	}
+	rad := make([]float64, len(cx))
+	for e := range cx {
+		rad[e] = math.Hypot(cx[e], cy[e])
+	}
+	sort.Slice(idx, func(a, b int) bool { return rad[idx[a]] < rad[idx[b]] })
+	rs = make([]float64, len(idx))
+	vals = make([]float64, len(idx))
+	for i, e := range idx {
+		rs[i] = rad[e]
+		vals[i] = field[e]
+	}
+	return rs, vals
+}
+
+// L1Error returns the mean absolute deviation between field values and
+// a reference function evaluated at the element positions pos (e.g.
+// x-centroid or radius).
+func L1Error(pos, field []float64, ref func(float64) float64) float64 {
+	var sum float64
+	for i := range pos {
+		sum += math.Abs(field[i] - ref(pos[i]))
+	}
+	return sum / float64(len(pos))
+}

@@ -1,0 +1,98 @@
+package bookleaf_test
+
+import (
+	"math"
+	"testing"
+
+	"bookleaf"
+)
+
+// The water-air tube validates the multi-material machinery with the
+// Tait EoS: compressed water (barotropic) drives a shock into ideal-gas
+// air across a large impedance mismatch.
+func TestWaterAirMultiMaterial(t *testing.T) {
+	res := run(t, bookleaf.Config{Problem: "waterair", NX: 200, NY: 2})
+
+	if drift := res.EnergyDrift(); drift > 1e-10 {
+		t.Fatalf("energy drift %v", drift)
+	}
+	if math.Abs(res.MassFinal-res.Mass0) > 1e-12*res.Mass0 {
+		t.Fatalf("mass drift %v -> %v", res.Mass0, res.MassFinal)
+	}
+
+	xs, rho := res.XProfile(res.Rho)
+	_, p := res.XProfile(res.P)
+
+	// The material interface (density jump from ~1 to <0.2) must have
+	// moved right of its initial x=0.4 as the water expands.
+	iface := 0.0
+	for i := 1; i < len(xs); i++ {
+		if rho[i-1] > 0.5 && rho[i] < 0.5 {
+			iface = 0.5 * (xs[i-1] + xs[i])
+			break
+		}
+	}
+	// Stiff water unloads to the interface pressure almost instantly,
+	// so the displacement is small but must be rightward.
+	if iface <= 0.403 {
+		t.Fatalf("interface at %v, want > 0.403 (moved right)", iface)
+	}
+
+	// Pressure is continuous across the interface: compare averages
+	// just left and just right of it.
+	// Sample tightly around the interface: a rarefaction oscillation
+	// trails the contact a few cells behind it in the air.
+	var pl, pr []float64
+	for i, x := range xs {
+		if x > iface-0.03 && x < iface-0.005 {
+			pl = append(pl, p[i])
+		}
+		if x > iface+0.005 && x < iface+0.03 {
+			pr = append(pr, p[i])
+		}
+	}
+	if len(pl) == 0 || len(pr) == 0 {
+		t.Fatal("no samples straddling the interface")
+	}
+	ml, mr := mean(pl), mean(pr)
+	if math.Abs(ml-mr) > 0.35*math.Max(ml, mr) {
+		t.Fatalf("pressure jump across interface: %v vs %v", ml, mr)
+	}
+
+	// A compression wave is running in the air: peak air pressure
+	// clearly above the 0.1 ambient, and the far field undisturbed.
+	peakAir, farField := 0.0, 0.0
+	for i, x := range xs {
+		if x > iface+0.02 && p[i] > peakAir {
+			peakAir = p[i]
+		}
+		if x > 0.9 {
+			farField = math.Max(farField, math.Abs(p[i]-0.1))
+		}
+	}
+	if peakAir < 0.13 {
+		t.Fatalf("no compression wave in the air: peak pressure %v", peakAir)
+	}
+	if farField > 1e-6 {
+		t.Fatalf("far-field air disturbed by %v", farField)
+	}
+
+	// The water has relaxed towards its reference density.
+	var wRho []float64
+	for i, x := range xs {
+		if x < 0.2 {
+			wRho = append(wRho, rho[i])
+		}
+	}
+	if m := mean(wRho); m < 0.99 || m > 1.02 {
+		t.Fatalf("water density %v outside [0.99, 1.02]", m)
+	}
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
