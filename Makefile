@@ -1,0 +1,30 @@
+# BookLeaf-in-Go build and test entry points.
+#
+# tier1 is the correctness gate every change must keep green.
+# tier2-fault runs the parallel / fault-injection / checkpoint matrix
+# under the race detector — slower, but it is the tier that exercises
+# the abort paths, rollback-retry and the collective checkpoint
+# protocol with real goroutine interleavings.
+
+GO ?= go
+
+.PHONY: all build tier1 tier2-fault test bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+tier1: build
+	$(GO) test ./...
+
+tier2-fault:
+	$(GO) test -race ./... -run 'Parallel|Typhon|Fault|Rollback|Checkpoint|Resume|Abort|Injected|Truncated|Dropped|Delayed|Corrupted' -count=1
+
+test: tier1 tier2-fault
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

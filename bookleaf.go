@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"bookleaf/internal/ale"
 	"bookleaf/internal/checkpoint"
@@ -33,6 +34,7 @@ import (
 	"bookleaf/internal/par"
 	"bookleaf/internal/setup"
 	"bookleaf/internal/timers"
+	"bookleaf/internal/typhon"
 )
 
 // Config selects and parameterises a run. The zero value is not valid:
@@ -79,10 +81,24 @@ type Config struct {
 
 	// Checkpoint, when set, names a restart-dump file written every
 	// CheckpointEvery steps (default: end of run only). Resume, when
-	// set, restores a prior dump before stepping. Serial runs only.
+	// set, restores a prior dump before stepping. Snapshots are
+	// partition-independent (format v2): a run checkpointed at N ranks
+	// may resume at any rank count with any partitioner.
 	Checkpoint      string
 	CheckpointEvery int
 	Resume          string
+
+	// RollbackEvery is the cadence, in steps, of the rolling in-memory
+	// snapshot backing step-level rollback-retry: on a timestep
+	// collapse, a tangled element, or a non-finite field the run rolls
+	// back (collectively, on parallel runs), halves the timestep cap
+	// and retries. 0 selects the default (10); negative disables
+	// rollback.
+	RollbackEvery int
+	// RetryBudget bounds how many rollback-retries a run may spend
+	// before aborting with the underlying error. 0 selects the default
+	// (3); negative disables retries.
+	RetryBudget int
 
 	// HistoryEvery records a StepRecord every n steps into
 	// Result.History (0 = off). Serial runs only.
@@ -91,6 +107,16 @@ type Config struct {
 	// testDtMin overrides the minimum-timestep abort threshold; used
 	// by failure-injection tests.
 	testDtMin float64
+	// testFault, when set, is called on every rank after each completed
+	// step and may corrupt the state — fault injection for the
+	// rollback-retry tests.
+	testFault func(rank, step int, s *hydro.State)
+	// testFaultPlan arms message-level fault injection in the typhon
+	// layer of parallel runs.
+	testFaultPlan *typhon.FaultPlan
+	// testRecvTimeout bounds typhon Recv waits on parallel runs so
+	// dropped-message faults are detected instead of deadlocking.
+	testRecvTimeout time.Duration
 }
 
 func (c *Config) normalise() error {
@@ -127,10 +153,31 @@ func (c *Config) normalise() error {
 	if c.ALE == "smoothed" && c.Ranks > 1 {
 		return fmt.Errorf("bookleaf: smoothed ALE is serial-only (ghost smoothing stencils are incomplete)")
 	}
-	if (c.Checkpoint != "" || c.Resume != "") && c.Ranks > 1 {
-		return fmt.Errorf("bookleaf: checkpoint/resume are serial-only")
-	}
 	return nil
+}
+
+// rollbackEvery resolves the rolling-snapshot cadence: 0 = default 10,
+// negative = disabled.
+func (c *Config) rollbackEvery() int {
+	if c.RollbackEvery < 0 {
+		return 0
+	}
+	if c.RollbackEvery == 0 {
+		return 10
+	}
+	return c.RollbackEvery
+}
+
+// retryBudget resolves the rollback-retry budget: 0 = default 3,
+// negative = disabled.
+func (c *Config) retryBudget() int {
+	if c.RetryBudget < 0 {
+		return 0
+	}
+	if c.RetryBudget == 0 {
+		return 3
+	}
+	return c.RetryBudget
 }
 
 func (c *Config) aleOptions() *ale.Options {
@@ -200,6 +247,10 @@ type Result struct {
 	// sent through the Typhon layer (zero for serial runs).
 	CommMsgs, CommWords int64
 
+	// Rollbacks counts the rollback-retries the run spent recovering
+	// from transient failures (zero on a clean run).
+	Rollbacks int
+
 	// History holds periodic step records when Config.HistoryEvery is
 	// set.
 	History []StepRecord
@@ -232,6 +283,43 @@ func Run(cfg Config) (*Result, error) {
 	return runSerial(cfg)
 }
 
+// loadSnapshot reads and validates a resume dump against the run's
+// identity and global mesh sizes. Drivers call it before any ranks
+// spawn, so a missing, truncated or incompatible dump fails the run
+// with a clear error instead of a mid-flight collapse.
+func loadSnapshot(path, problem string, nx, ny, nel, nnd int) (*checkpoint.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	defer f.Close()
+	sn, err := checkpoint.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("resume %s: %w", path, err)
+	}
+	if err := sn.Validate(problem, nx, ny, nel, nnd); err != nil {
+		return nil, fmt.Errorf("resume %s: %w", path, err)
+	}
+	return sn, nil
+}
+
+// writeSnapshotFile writes a snapshot dump, surfacing close errors
+// (a checkpoint that did not reach the disk is not a checkpoint).
+func writeSnapshotFile(path string, sn *checkpoint.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := sn.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
 func runSerial(cfg Config) (*Result, error) {
 	p, err := setup.ByName(cfg.Problem, cfg.NX, cfg.NY, cfg.SedovEnergy)
 	if err != nil {
@@ -254,32 +342,26 @@ func runSerial(cfg Config) (*Result, error) {
 	}
 
 	if cfg.Resume != "" {
-		f, err := os.Open(cfg.Resume)
+		snap, err := loadSnapshot(cfg.Resume, cfg.Problem, cfg.NX, cfg.NY, p.Mesh.NEl, p.Mesh.NNd)
 		if err != nil {
-			return nil, fmt.Errorf("bookleaf: resume: %w", err)
-		}
-		snap, err := checkpoint.Read(f)
-		f.Close()
-		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bookleaf: %w", err)
 		}
 		if err := snap.Restore(s, cfg.Problem, cfg.NX, cfg.NY); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bookleaf: resume: %w", err)
 		}
 	}
 
 	writeCheckpoint := func() error {
-		f, err := os.Create(cfg.Checkpoint)
-		if err != nil {
-			return fmt.Errorf("bookleaf: checkpoint: %w", err)
-		}
-		defer f.Close()
-		return checkpoint.Capture(s, cfg.Problem, cfg.NX, cfg.NY).Write(f)
+		return writeSnapshotFile(cfg.Checkpoint, checkpoint.Capture(s, cfg.Problem, cfg.NX, cfg.NY))
 	}
 
 	tm := timers.NewSet()
+	dtCap := math.Inf(1)
 	hooks := &hydro.Hooks{
 		ReduceDt: func(dt float64, e int) (float64, int) {
+			if dt > dtCap {
+				dt = dtCap
+			}
 			if s.Time+dt > tEnd {
 				dt = tEnd - s.Time
 			}
@@ -292,24 +374,58 @@ func runSerial(cfg Config) (*Result, error) {
 		E0: s.TotalEnergy(), Mass0: s.TotalMass(),
 		Mesh: p.Mesh, TEnd: tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
 	}
+	rollEvery := cfg.rollbackEvery()
+	budget := cfg.retryBudget()
+	if rollEvery == 0 {
+		budget = 0
+	}
+	var roll hydro.Memento
+	if budget > 0 {
+		s.Save(&roll) // cover steps before the first cadence point
+	}
 	for s.Time < tEnd-1e-12 {
 		if cfg.MaxSteps > 0 && s.StepCount >= cfg.MaxSteps {
 			break
 		}
-		if _, err := s.Step(tm, hooks); err != nil {
-			return nil, fmt.Errorf("bookleaf: step %d (t=%v): %w", s.StepCount, s.Time, err)
+		if budget > 0 && s.StepCount%rollEvery == 0 {
+			s.Save(&roll)
 		}
-		if remap != nil && s.StepCount%cfg.ALEFreq == 0 {
-			tm.Start(hydro.TimerALE)
-			err := remap.Apply(s, tm, nil)
-			tm.Stop(hydro.TimerALE)
-			if err != nil {
-				return nil, fmt.Errorf("bookleaf: remap at step %d: %w", s.StepCount, err)
+		stepErr := func() error {
+			if _, err := s.Step(tm, hooks); err != nil {
+				return err
 			}
+			if remap != nil && s.StepCount%cfg.ALEFreq == 0 {
+				tm.Start(hydro.TimerALE)
+				err := remap.Apply(s, tm, nil)
+				tm.Stop(hydro.TimerALE)
+				if err != nil {
+					return fmt.Errorf("remap: %w", err)
+				}
+			}
+			if cfg.testFault != nil {
+				cfg.testFault(0, s.StepCount, s)
+			}
+			return s.CheckFinite()
+		}()
+		if stepErr != nil {
+			if budget > 0 && hydro.Retryable(stepErr) {
+				budget--
+				res.Rollbacks++
+				s.Load(&roll)
+				// Halve the timestep cap below the last dt taken from
+				// the restored point; GetDt will re-grow it via
+				// DtGrowth once steps succeed again.
+				dtCap = math.Min(dtCap, s.DtPrev) / 2
+				continue
+			}
+			return nil, fmt.Errorf("bookleaf: step %d (t=%v): %w", s.StepCount, s.Time, stepErr)
+		}
+		if !math.IsInf(dtCap, 1) {
+			dtCap *= s.Opt.DtGrowth
 		}
 		if cfg.Checkpoint != "" && cfg.CheckpointEvery > 0 && s.StepCount%cfg.CheckpointEvery == 0 {
 			if err := writeCheckpoint(); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("bookleaf: %w", err)
 			}
 		}
 		if cfg.HistoryEvery > 0 && s.StepCount%cfg.HistoryEvery == 0 {
@@ -321,7 +437,7 @@ func runSerial(cfg Config) (*Result, error) {
 	}
 	if cfg.Checkpoint != "" {
 		if err := writeCheckpoint(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bookleaf: %w", err)
 		}
 	}
 	res.Steps = s.StepCount

@@ -1,11 +1,14 @@
 package bookleaf_test
 
 import (
+	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"bookleaf"
+	"bookleaf/internal/checkpoint"
 )
 
 func TestCheckpointResumeThroughConfig(t *testing.T) {
@@ -36,14 +39,157 @@ func TestCheckpointResumeThroughConfig(t *testing.T) {
 	}
 }
 
-func TestCheckpointRejectsParallel(t *testing.T) {
-	if _, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 16, NY: 2, Ranks: 2, Checkpoint: "x"}); err == nil {
-		t.Fatal("parallel checkpoint accepted")
+// maxFieldDiff returns the largest |a-b| over two equal-length fields.
+func maxFieldDiff(t *testing.T, a, b []float64) float64 {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("field lengths differ: %d vs %d", len(a), len(b))
+	}
+	var d float64
+	for i := range a {
+		d = math.Max(d, math.Abs(a[i]-b[i]))
+	}
+	return d
+}
+
+// Snapshots are partition-independent: a serial run to step N and a
+// 4-rank run resumed from a 2-rank checkpoint at the same step must
+// agree on the final state to 1e-12.
+func TestCheckpointCrossesRankCounts(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "cross.ckpt")
+
+	ref := run(t, bookleaf.Config{Problem: "sod", NX: 48, NY: 4, MaxSteps: 40})
+
+	leg := run(t, bookleaf.Config{Problem: "sod", NX: 48, NY: 4, MaxSteps: 20, Ranks: 2, Checkpoint: ck})
+	if leg.Steps != 20 {
+		t.Fatalf("checkpoint leg steps = %d", leg.Steps)
+	}
+	res := run(t, bookleaf.Config{Problem: "sod", NX: 48, NY: 4, MaxSteps: 40, Ranks: 4, Resume: ck})
+	if res.Steps != ref.Steps {
+		t.Fatalf("resumed steps %d != reference %d", res.Steps, ref.Steps)
+	}
+	if d := maxFieldDiff(t, res.Rho, ref.Rho); d > 1e-12 {
+		t.Fatalf("rho differs from serial reference by %v", d)
+	}
+	if d := maxFieldDiff(t, res.Ein, ref.Ein); d > 1e-12 {
+		t.Fatalf("ein differs from serial reference by %v", d)
 	}
 }
 
+// The acceptance path: a 4-rank run checkpointed mid-run through
+// CheckpointEvery, resumed at a different rank count (3, with the other
+// partitioner), matches the uninterrupted run's final state to 1e-12.
+func TestCheckpointMidRunResumesAtDifferentRankCount(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "mid.ckpt")
+
+	ref := run(t, bookleaf.Config{Problem: "sod", NX: 48, NY: 4, MaxSteps: 40, Ranks: 4})
+
+	// CheckpointEvery writes at steps 15 and 30; cap the run at 30 so
+	// the final dump lands mid-way through the reference run.
+	leg := run(t, bookleaf.Config{
+		Problem: "sod", NX: 48, NY: 4, MaxSteps: 30, Ranks: 4,
+		Checkpoint: ck, CheckpointEvery: 15,
+	})
+	if leg.Steps != 30 {
+		t.Fatalf("checkpoint leg steps = %d", leg.Steps)
+	}
+
+	res := run(t, bookleaf.Config{
+		Problem: "sod", NX: 48, NY: 4, MaxSteps: 40,
+		Ranks: 3, Partitioner: "metis", Resume: ck,
+	})
+	if res.Steps != ref.Steps {
+		t.Fatalf("resumed steps %d != reference %d", res.Steps, ref.Steps)
+	}
+	if d := maxFieldDiff(t, res.Rho, ref.Rho); d > 1e-12 {
+		t.Fatalf("rho differs from uninterrupted run by %v", d)
+	}
+	if d := maxFieldDiff(t, res.Ein, ref.Ein); d > 1e-12 {
+		t.Fatalf("ein differs from uninterrupted run by %v", d)
+	}
+	// Work/floor audits travel through the snapshot as global sums;
+	// the resumed run's conservation audit must still close.
+	if drift := res.EnergyDrift(); drift > 1e-10 {
+		t.Fatalf("energy drift %v after cross-rank resume", drift)
+	}
+}
+
+// Resume failures must surface before any ranks spawn, with a clear
+// cause: missing file, truncated dump, wrong format version.
 func TestResumeMissingFileFails(t *testing.T) {
-	if _, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 16, NY: 2, Resume: "/nonexistent/file"}); err == nil {
-		t.Fatal("missing resume file accepted")
+	for _, ranks := range []int{1, 4} {
+		_, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 16, NY: 2, Ranks: ranks, Resume: "/nonexistent/file"})
+		if err == nil {
+			t.Fatalf("missing resume file accepted at %d ranks", ranks)
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("error does not wrap the open failure: %v", err)
+		}
+	}
+}
+
+func TestResumeTruncatedFileFails(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "whole.ckpt")
+	run(t, bookleaf.Config{Problem: "sod", NX: 16, NY: 2, MaxSteps: 10, Checkpoint: ck})
+
+	raw, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.ckpt")
+	if err := os.WriteFile(cut, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2} {
+		_, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 16, NY: 2, Ranks: ranks, Resume: cut})
+		if err == nil {
+			t.Fatalf("truncated dump accepted at %d ranks", ranks)
+		}
+	}
+}
+
+func TestResumeWrongVersionFails(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "v2.ckpt")
+	run(t, bookleaf.Config{Problem: "sod", NX: 16, NY: 2, MaxSteps: 10, Checkpoint: ck})
+
+	f, err := os.Open(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 1
+	old := filepath.Join(dir, "v1.ckpt")
+	out, err := os.Create(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+
+	for _, ranks := range []int{1, 2} {
+		_, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 16, NY: 2, Ranks: ranks, Resume: old})
+		if !errors.Is(err, checkpoint.ErrVersion) {
+			t.Fatalf("version-1 dump at %d ranks: error %v does not match ErrVersion", ranks, err)
+		}
+	}
+}
+
+// A resume dump from a different problem or resolution is rejected up
+// front regardless of rank count.
+func TestResumeIdentityMismatchFails(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "sod.ckpt")
+	run(t, bookleaf.Config{Problem: "sod", NX: 16, NY: 2, MaxSteps: 10, Checkpoint: ck})
+	for _, ranks := range []int{1, 2} {
+		if _, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 20, NY: 2, Ranks: ranks, Resume: ck}); err == nil {
+			t.Fatalf("mismatched resolution accepted at %d ranks", ranks)
+		}
 	}
 }

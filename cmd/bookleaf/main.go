@@ -9,6 +9,13 @@
 //	bookleaf -problem noh -nx 100 -ny 100
 //	bookleaf -deck decks/sod.deck -profile sod.csv
 //	bookleaf -problem sod -nx 400 -ny 4 -ranks 8 -partitioner metis
+//	bookleaf -problem sod -nx 400 -ny 4 -ranks 4 -checkpoint sod.ckpt -checkpoint-every 100
+//	bookleaf -problem sod -nx 400 -ny 4 -ranks 8 -resume sod.ckpt
+//
+// Checkpoints are partition-independent: a dump written at one rank
+// count resumes at any other. Transient failures (timestep collapse,
+// tangled element, non-finite field) are retried from a rolling
+// in-memory snapshot; tune with -rollback-every and -retry-budget.
 package main
 
 import (
@@ -51,6 +58,8 @@ func run() error {
 		ckpt        = flag.String("checkpoint", "", "write a restart dump to this file")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "also dump every n steps")
 		resume      = flag.String("resume", "", "restore a restart dump before running")
+		rollEvery   = flag.Int("rollback-every", 0, "rolling-snapshot cadence for rollback-retry (0 = default 10, negative = off)")
+		retryBudget = flag.Int("retry-budget", 0, "rollback-retries before aborting (0 = default 3, negative = off)")
 		history     = flag.Int("history", 0, "print a step record every n steps")
 		quiet       = flag.Bool("quiet", false, "suppress the kernel breakdown")
 	)
@@ -81,6 +90,7 @@ func run() error {
 			ALE: *aleMode, ALEFreq: *aleFreq, Hourglass: *hourglass,
 			GatherAcc: *gatherAcc, SedovEnergy: *sedovE,
 			Checkpoint: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume,
+			RollbackEvery: *rollEvery, RetryBudget: *retryBudget,
 			HistoryEvery: *history,
 		}
 	}
@@ -100,6 +110,9 @@ func run() error {
 	fmt.Printf("energy     E0=%.8g E=%.8g work=%.8g drift=%.3g\n",
 		res.E0, res.EFinal, res.ExternalWork, res.EnergyDrift())
 	fmt.Printf("mass       M0=%.8g M=%.8g\n", res.Mass0, res.MassFinal)
+	if res.Rollbacks > 0 {
+		fmt.Printf("rollbacks  %d transient failure(s) recovered\n", res.Rollbacks)
+	}
 
 	if len(res.History) > 0 {
 		fmt.Println("\nstep history:")
@@ -206,6 +219,17 @@ func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
 		return cfg, err
 	}
 	cfg.Partitioner = d.String("control", "partitioner", "rcb")
+	cfg.Checkpoint = d.String("control", "checkpoint", "")
+	if cfg.CheckpointEvery, err = d.Int("control", "checkpoint_every", 0); err != nil {
+		return cfg, err
+	}
+	cfg.Resume = d.String("control", "resume", "")
+	if cfg.RollbackEvery, err = d.Int("control", "rollback_every", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.RetryBudget, err = d.Int("control", "retry_budget", 0); err != nil {
+		return cfg, err
+	}
 	cfg.ALE = d.String("ale", "mode", "")
 	if cfg.ALE == "lagrangian" || cfg.ALE == "off" {
 		cfg.ALE = ""

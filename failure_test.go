@@ -4,35 +4,32 @@ package bookleaf
 // the unexported test knobs.
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
+
+	"bookleaf/internal/hydro"
+	"bookleaf/internal/typhon"
 )
 
 // A rank that hits a timestep collapse mid-run must bring the whole
 // parallel run down cleanly — an error return, not a deadlock. The
 // compensation protocol in runParallel keeps the halo-exchange schedule
-// symmetric while the ranks agree to abort.
+// symmetric while the ranks agree to abort. RetryBudget is disabled so
+// the collapse is immediately fatal.
 func TestParallelFailurePropagatesCleanly(t *testing.T) {
 	cfg := Config{
-		Problem: "sod", NX: 64, NY: 4, Ranks: 4,
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4, RetryBudget: -1,
 		testDtMin: 1e-3, // unreachably large once the shock forms
 	}
-	done := make(chan error, 1)
-	go func() {
-		_, err := Run(cfg)
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("expected a timestep-collapse error")
-		}
-		if !strings.Contains(err.Error(), "collapsed") {
-			t.Fatalf("unexpected error: %v", err)
-		}
-	case <-timeoutC(t):
-		t.Fatal("parallel failure deadlocked")
+	err := runBounded(t, cfg)
+	if err == nil {
+		t.Fatal("expected a timestep-collapse error")
+	}
+	if !strings.Contains(err.Error(), "collapsed") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }
 
@@ -40,31 +37,194 @@ func TestParallelFailurePropagatesCleanly(t *testing.T) {
 // compensation path too.
 func TestParallelFailureWithRemapCleanly(t *testing.T) {
 	cfg := Config{
-		Problem: "sod", NX: 64, NY: 4, Ranks: 3, ALE: "eulerian",
+		Problem: "sod", NX: 64, NY: 4, Ranks: 3, ALE: "eulerian", RetryBudget: -1,
 		testDtMin: 1e-3,
 	}
-	done := make(chan error, 1)
-	go func() {
-		_, err := Run(cfg)
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("expected a timestep-collapse error")
-		}
-	case <-timeoutC(t):
-		t.Fatal("parallel remap failure deadlocked")
+	if err := runBounded(t, cfg); err == nil {
+		t.Fatal("expected a timestep-collapse error")
+	}
+}
+
+// With the retry budget enabled, a persistent collapse is retried with a
+// halved timestep cap until the budget runs out, then still fails with
+// the collapse as the root cause on every rank.
+func TestParallelCollapseExhaustsRetryBudget(t *testing.T) {
+	cfg := Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4,
+		testDtMin: 1e-3,
+	}
+	err := runBounded(t, cfg)
+	if err == nil {
+		t.Fatal("expected a timestep-collapse error after retries")
+	}
+	if !strings.Contains(err.Error(), "collapsed") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }
 
 func TestSerialFailureReportsStep(t *testing.T) {
-	_, err := Run(Config{Problem: "sod", NX: 32, NY: 2, testDtMin: 1e-3})
+	_, err := Run(Config{Problem: "sod", NX: 32, NY: 2, RetryBudget: -1, testDtMin: 1e-3})
 	if err == nil {
 		t.Fatal("expected failure")
 	}
 	if !strings.Contains(err.Error(), "step") {
 		t.Fatalf("error lacks step context: %v", err)
+	}
+}
+
+// A single transient NaN — the kind a corrupted message or a marginal
+// remap produces — must be absorbed by rollback-retry: the run restores
+// the last rolling snapshot, halves the timestep cap and completes.
+func TestSerialRollbackRecoversTransientNaN(t *testing.T) {
+	injected := false
+	res, err := Run(Config{
+		Problem: "sod", NX: 32, NY: 2, MaxSteps: 25,
+		testFault: func(rank, step int, s *hydro.State) {
+			if step == 14 && !injected {
+				injected = true
+				s.Rho[3] = math.NaN()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("transient NaN not recovered: %v", err)
+	}
+	if res.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", res.Rollbacks)
+	}
+	if res.Steps != 25 {
+		t.Fatalf("run stopped at step %d", res.Steps)
+	}
+}
+
+// A NaN that reappears on every retry exhausts the budget and aborts
+// with the offending field, element and step in the error.
+func TestSerialRollbackBudgetExhausts(t *testing.T) {
+	res, err := Run(Config{
+		Problem: "sod", NX: 32, NY: 2, MaxSteps: 25, RetryBudget: 2,
+		testFault: func(rank, step int, s *hydro.State) {
+			if step == 14 {
+				s.Ein[5] = math.Inf(1)
+			}
+		},
+	})
+	if err == nil {
+		t.Fatalf("persistent NaN completed: %+v", res)
+	}
+	var nf *hydro.ErrNonFinite
+	if !errors.As(err, &nf) || nf.Field != "ein" || nf.Global != 5 {
+		t.Fatalf("error lacks field/element context: %v", err)
+	}
+	if !strings.Contains(err.Error(), "step 14") {
+		t.Fatalf("error lacks step context: %v", err)
+	}
+}
+
+// Parallel flavour of the transient-NaN recovery: one rank trips the
+// health sentinel, all ranks roll back collectively and the run
+// completes with the rollback counted once.
+func TestParallelRollbackRecoversTransientNaN(t *testing.T) {
+	injected := false // only touched by rank 1's goroutine
+	res, err := Run(Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4, MaxSteps: 25,
+		testFault: func(rank, step int, s *hydro.State) {
+			if rank == 1 && step == 14 && !injected {
+				injected = true
+				s.U[2] = math.NaN()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("transient NaN not recovered: %v", err)
+	}
+	if res.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", res.Rollbacks)
+	}
+	if res.Steps != 25 {
+		t.Fatalf("run stopped at step %d", res.Steps)
+	}
+}
+
+// Parallel budget exhaustion must end with the health error from the
+// faulty rank, not a deadlock and not a peer's abort echo.
+func TestParallelRollbackBudgetExhausts(t *testing.T) {
+	err := runBounded(t, Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4, MaxSteps: 25, RetryBudget: 2,
+		testFault: func(rank, step int, s *hydro.State) {
+			if rank == 2 && step == 14 {
+				s.Rho[0] = math.NaN()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("persistent NaN completed")
+	}
+	var nf *hydro.ErrNonFinite
+	if !errors.As(err, &nf) || nf.Field != "rho" {
+		t.Fatalf("error lacks health context: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 2") {
+		t.Fatalf("error lacks rank context: %v", err)
+	}
+}
+
+// An injected rank panic mid-exchange poisons the communicator: peers
+// blocked in Recv or a reduction unwind with ErrAborted and the run
+// returns the panic as the root cause, within the deadline.
+func TestInjectedPanicAbortsParallelRun(t *testing.T) {
+	err := runBounded(t, Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4,
+		testFaultPlan: &typhon.FaultPlan{Faults: []typhon.Fault{
+			{Rank: 1, Msg: 7, Kind: typhon.FaultPanic},
+		}},
+	})
+	if err == nil {
+		t.Fatal("expected an abort error")
+	}
+	if !errors.Is(err, typhon.ErrAborted) {
+		t.Fatalf("error does not match ErrAborted: %v", err)
+	}
+	var rp *typhon.RankPanicError
+	if !errors.As(err, &rp) || rp.Rank != 1 {
+		t.Fatalf("root cause is not rank 1's panic: %v", err)
+	}
+}
+
+// A truncated halo message is a data fault, not a crash: the receiving
+// rank reports a size mismatch, aborts the communicator, and the run
+// ends cleanly with that mismatch as the root cause.
+func TestTruncatedHaloMessageFailsCleanly(t *testing.T) {
+	err := runBounded(t, Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4,
+		testFaultPlan: &typhon.FaultPlan{Faults: []typhon.Fault{
+			{Rank: 2, Msg: 5, Kind: typhon.FaultTruncate},
+		}},
+	})
+	if err == nil {
+		t.Fatal("expected a size-mismatch error")
+	}
+	var sm *typhon.SizeMismatchError
+	if !errors.As(err, &sm) || sm.From != 2 {
+		t.Fatalf("root cause is not the truncated message from rank 2: %v", err)
+	}
+}
+
+// A dropped message is detected by the receive timeout rather than a
+// hang; the timing-out rank is the root cause.
+func TestDroppedHaloMessageTimesOut(t *testing.T) {
+	err := runBounded(t, Config{
+		Problem: "sod", NX: 64, NY: 4, Ranks: 4,
+		testFaultPlan: &typhon.FaultPlan{Faults: []typhon.Fault{
+			{Rank: 1, Msg: 3, Kind: typhon.FaultDrop},
+		}},
+		testRecvTimeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	var to *typhon.TimeoutError
+	if !errors.As(err, &to) || to.From != 1 {
+		t.Fatalf("root cause is not a timeout waiting on rank 1: %v", err)
 	}
 }
 
@@ -88,13 +248,21 @@ func TestHistoryRecorded(t *testing.T) {
 	}
 }
 
-func timeoutC(t *testing.T) <-chan struct{} {
+// runBounded runs cfg on a goroutine and fails the test if the run does
+// not return within a generous deadline — the deadlock detector for the
+// failure-injection tests.
+func runBounded(t *testing.T, cfg Config) error {
 	t.Helper()
-	ch := make(chan struct{})
+	done := make(chan error, 1)
 	go func() {
-		// Generous bound; a deadlock would hang forever.
-		time.Sleep(30 * time.Second)
-		close(ch)
+		_, err := Run(cfg)
+		done <- err
 	}()
-	return ch
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("run deadlocked")
+		return nil
+	}
 }

@@ -1,86 +1,217 @@
 // Package checkpoint serialises and restores the evolving hydrodynamic
 // state — the mini-app's restart-dump facility (the reference
 // implementation writes Silo dumps; this one uses encoding/gob, which
-// keeps the repository dependency-free). A Snapshot captures everything
-// a Lagrangian run needs to continue bit-for-bit: coordinates,
-// velocities, thermodynamic state, the (remap-mutable) mass
-// distribution, the simulation clock and the audit accumulators.
+// keeps the repository dependency-free).
+//
+// Format v2 snapshots are partition-independent: all fields are stored
+// in global mesh order, so a run checkpointed at N ranks can resume at
+// any other rank count with any partitioner. Each rank Gathers its
+// owned entities into the global arrays through the mesh's
+// GlobalEl/GlobalNd maps; Restore restricts the global arrays back onto
+// an arbitrary local (owned + ghost) sub-mesh. A Snapshot captures
+// everything a Lagrangian run needs to continue bit-for-bit:
+// coordinates, velocities, thermodynamic state, the (remap-mutable)
+// mass distribution, the simulation clock and the audit accumulators.
 package checkpoint
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
 	"bookleaf/internal/hydro"
 )
 
-// FormatVersion identifies the snapshot layout.
-const FormatVersion = 1
+// FormatVersion identifies the snapshot layout. Version 2 introduced
+// the partition-independent global layout (and the NEl/NNd size
+// fields); version 1 snapshots are rejected.
+const FormatVersion = 2
 
-// Snapshot is a serialisable restart dump.
+// ErrVersion is matched (via errors.Is) by errors reporting a snapshot
+// whose format version this build cannot read.
+var ErrVersion = errors.New("checkpoint: unsupported snapshot format version")
+
+// Snapshot is a serialisable restart dump in global mesh order.
 type Snapshot struct {
 	Version int
 
-	// Identity of the run: problem name and mesh resolution. Restore
-	// refuses mismatched targets.
-	Problem string
-	NX, NY  int
+	// Identity of the run: problem name, mesh resolution and global
+	// mesh sizes. Restore refuses mismatched targets.
+	Problem  string
+	NX, NY   int
+	NEl, NNd int
 
-	// Clock and audits.
+	// Clock and audits. ExternalWork and FloorEnergy are the global
+	// (rank-summed) accumulators.
 	Time, DtPrev              float64
 	StepCount                 int
 	ExternalWork, FloorEnergy float64
 
-	// Node fields.
+	// Node fields, indexed by global node id.
 	X, Y, U, V, NdMass []float64
-	// Element fields.
+	// Element fields, indexed by global element id.
 	Rho, Ein, P, Q, Csq, Vol, Mass []float64
-	// Corner masses.
+	// Corner masses, corner k of global element e at 4*e+k.
 	CMass []float64
 }
 
-// Capture copies the evolving state of s into a Snapshot.
-func Capture(s *hydro.State, problem string, nx, ny int) *Snapshot {
-	cp := func(a []float64) []float64 { return append([]float64(nil), a...) }
+// New allocates an empty snapshot sized for the global mesh.
+func New(problem string, nx, ny, nel, nnd int) *Snapshot {
 	return &Snapshot{
 		Version: FormatVersion,
-		Problem: problem, NX: nx, NY: ny,
-		Time: s.Time, DtPrev: s.DtPrev, StepCount: s.StepCount,
-		ExternalWork: s.ExternalWork, FloorEnergy: s.FloorEnergy,
-		X: cp(s.X), Y: cp(s.Y), U: cp(s.U), V: cp(s.V), NdMass: cp(s.NdMass),
-		Rho: cp(s.Rho), Ein: cp(s.Ein), P: cp(s.P), Q: cp(s.Q),
-		Csq: cp(s.Csq), Vol: cp(s.Vol), Mass: cp(s.Mass), CMass: cp(s.CMass),
+		Problem: problem, NX: nx, NY: ny, NEl: nel, NNd: nnd,
+		X: make([]float64, nnd), Y: make([]float64, nnd),
+		U: make([]float64, nnd), V: make([]float64, nnd),
+		NdMass: make([]float64, nnd),
+		Rho:    make([]float64, nel), Ein: make([]float64, nel),
+		P: make([]float64, nel), Q: make([]float64, nel),
+		Csq: make([]float64, nel), Vol: make([]float64, nel),
+		Mass: make([]float64, nel), CMass: make([]float64, 4*nel),
 	}
 }
 
-// Restore loads the snapshot into s, which must have been built for the
-// same problem and resolution.
-func (sn *Snapshot) Restore(s *hydro.State, problem string, nx, ny int) error {
+// globalEl returns the global id of local element i on s's mesh.
+func globalEl(s *hydro.State, i int) int {
+	if s.Mesh.GlobalEl == nil {
+		return i
+	}
+	return s.Mesh.GlobalEl[i]
+}
+
+// globalNd returns the global id of local node i on s's mesh.
+func globalNd(s *hydro.State, i int) int {
+	if s.Mesh.GlobalNd == nil {
+		return i
+	}
+	return s.Mesh.GlobalNd[i]
+}
+
+// Gather writes the owned entities of s into their global slots. On a
+// partitioned run every rank Gathers into a shared snapshot (the owned
+// slots are disjoint); a serial state fills the whole snapshot.
+func (sn *Snapshot) Gather(s *hydro.State) error {
+	m := s.Mesh
+	for i := 0; i < m.NOwnEl; i++ {
+		ge := globalEl(s, i)
+		if ge < 0 || ge >= sn.NEl {
+			return fmt.Errorf("checkpoint: local element %d maps to global %d outside [0,%d)", i, ge, sn.NEl)
+		}
+		sn.Rho[ge] = s.Rho[i]
+		sn.Ein[ge] = s.Ein[i]
+		sn.P[ge] = s.P[i]
+		sn.Q[ge] = s.Q[i]
+		sn.Csq[ge] = s.Csq[i]
+		sn.Vol[ge] = s.Vol[i]
+		sn.Mass[ge] = s.Mass[i]
+		for k := 0; k < 4; k++ {
+			sn.CMass[4*ge+k] = s.CMass[4*i+k]
+		}
+	}
+	for i := 0; i < m.NOwnNd; i++ {
+		gn := globalNd(s, i)
+		if gn < 0 || gn >= sn.NNd {
+			return fmt.Errorf("checkpoint: local node %d maps to global %d outside [0,%d)", i, gn, sn.NNd)
+		}
+		sn.X[gn] = s.X[i]
+		sn.Y[gn] = s.Y[i]
+		sn.U[gn] = s.U[i]
+		sn.V[gn] = s.V[i]
+		sn.NdMass[gn] = s.NdMass[i]
+	}
+	return nil
+}
+
+// SetClock records the simulation clock and the global audit
+// accumulators (rank-summed on parallel runs).
+func (sn *Snapshot) SetClock(time, dtPrev float64, step int, work, floor float64) {
+	sn.Time = time
+	sn.DtPrev = dtPrev
+	sn.StepCount = step
+	sn.ExternalWork = work
+	sn.FloorEnergy = floor
+}
+
+// Capture builds a complete snapshot from a serial (global-mesh) state.
+func Capture(s *hydro.State, problem string, nx, ny int) *Snapshot {
+	sn := New(problem, nx, ny, s.Mesh.NEl, s.Mesh.NNd)
+	// A serial state owns every entity, so Gather cannot fail.
+	if err := sn.Gather(s); err != nil {
+		panic(err)
+	}
+	sn.SetClock(s.Time, s.DtPrev, s.StepCount, s.ExternalWork, s.FloorEnergy)
+	return sn
+}
+
+// Validate checks the snapshot against the identity and global sizes of
+// the run about to consume it; drivers call it before any ranks spawn.
+func (sn *Snapshot) Validate(problem string, nx, ny, nel, nnd int) error {
 	if sn.Version != FormatVersion {
-		return fmt.Errorf("checkpoint: format version %d, want %d", sn.Version, FormatVersion)
+		return fmt.Errorf("%w: snapshot is version %d, this build reads version %d",
+			ErrVersion, sn.Version, FormatVersion)
 	}
 	if sn.Problem != problem || sn.NX != nx || sn.NY != ny {
 		return fmt.Errorf("checkpoint: snapshot is %s %dx%d, run is %s %dx%d",
 			sn.Problem, sn.NX, sn.NY, problem, nx, ny)
 	}
-	if len(sn.X) != len(s.X) || len(sn.Rho) != len(s.Rho) || len(sn.CMass) != len(s.CMass) {
-		return fmt.Errorf("checkpoint: field sizes do not match the state (nodes %d vs %d, elements %d vs %d)",
-			len(sn.X), len(s.X), len(sn.Rho), len(s.Rho))
+	if sn.NEl != nel || sn.NNd != nnd {
+		return fmt.Errorf("checkpoint: snapshot mesh has %d elements / %d nodes, run has %d / %d",
+			sn.NEl, sn.NNd, nel, nnd)
 	}
-	copy(s.X, sn.X)
-	copy(s.Y, sn.Y)
-	copy(s.U, sn.U)
-	copy(s.V, sn.V)
-	copy(s.NdMass, sn.NdMass)
-	copy(s.Rho, sn.Rho)
-	copy(s.Ein, sn.Ein)
-	copy(s.P, sn.P)
-	copy(s.Q, sn.Q)
-	copy(s.Csq, sn.Csq)
-	copy(s.Vol, sn.Vol)
-	copy(s.Mass, sn.Mass)
-	copy(s.CMass, sn.CMass)
+	if len(sn.Rho) != sn.NEl || len(sn.X) != sn.NNd || len(sn.CMass) != 4*sn.NEl {
+		return fmt.Errorf("checkpoint: snapshot field sizes inconsistent with declared mesh (%d elements, %d nodes) — truncated or corrupted dump?",
+			sn.NEl, sn.NNd)
+	}
+	return nil
+}
+
+// Restore loads the snapshot into s, restricting the global fields to
+// s's local entities — owned and ghost alike, so no post-restore halo
+// refresh is needed (ghosts receive exactly the owner's values). s may
+// live on the global mesh (serial) or on any sub-mesh of the same
+// global problem, regardless of the rank count or partitioner that
+// wrote the snapshot.
+func (sn *Snapshot) Restore(s *hydro.State, problem string, nx, ny int) error {
+	if sn.Version != FormatVersion {
+		return fmt.Errorf("%w: snapshot is version %d, this build reads version %d",
+			ErrVersion, sn.Version, FormatVersion)
+	}
+	if sn.Problem != problem || sn.NX != nx || sn.NY != ny {
+		return fmt.Errorf("checkpoint: snapshot is %s %dx%d, run is %s %dx%d",
+			sn.Problem, sn.NX, sn.NY, problem, nx, ny)
+	}
+	m := s.Mesh
+	if m.GlobalEl == nil && (m.NEl != sn.NEl || m.NNd != sn.NNd) {
+		return fmt.Errorf("checkpoint: field sizes do not match the state (nodes %d vs %d, elements %d vs %d)",
+			sn.NNd, m.NNd, sn.NEl, m.NEl)
+	}
+	for i := 0; i < m.NEl; i++ {
+		ge := globalEl(s, i)
+		if ge < 0 || ge >= sn.NEl {
+			return fmt.Errorf("checkpoint: local element %d maps to global %d outside [0,%d)", i, ge, sn.NEl)
+		}
+		s.Rho[i] = sn.Rho[ge]
+		s.Ein[i] = sn.Ein[ge]
+		s.P[i] = sn.P[ge]
+		s.Q[i] = sn.Q[ge]
+		s.Csq[i] = sn.Csq[ge]
+		s.Vol[i] = sn.Vol[ge]
+		s.Mass[i] = sn.Mass[ge]
+		for k := 0; k < 4; k++ {
+			s.CMass[4*i+k] = sn.CMass[4*ge+k]
+		}
+	}
+	for i := 0; i < m.NNd; i++ {
+		gn := globalNd(s, i)
+		if gn < 0 || gn >= sn.NNd {
+			return fmt.Errorf("checkpoint: local node %d maps to global %d outside [0,%d)", i, gn, sn.NNd)
+		}
+		s.X[i] = sn.X[gn]
+		s.Y[i] = sn.Y[gn]
+		s.U[i] = sn.U[gn]
+		s.V[i] = sn.V[gn]
+		s.NdMass[i] = sn.NdMass[gn]
+	}
 	s.Time = sn.Time
 	s.DtPrev = sn.DtPrev
 	s.StepCount = sn.StepCount
@@ -97,11 +228,17 @@ func (sn *Snapshot) Write(w io.Writer) error {
 	return nil
 }
 
-// Read decodes a snapshot from r.
+// Read decodes a snapshot from r. A short or garbled stream returns a
+// wrapped decode error; a snapshot from an incompatible format version
+// returns an error matching ErrVersion.
 func Read(r io.Reader) (*Snapshot, error) {
 	var sn Snapshot
 	if err := gob.NewDecoder(r).Decode(&sn); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+		return nil, fmt.Errorf("checkpoint: decode (truncated or corrupted dump?): %w", err)
+	}
+	if sn.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: snapshot is version %d, this build reads version %d",
+			ErrVersion, sn.Version, FormatVersion)
 	}
 	return &sn, nil
 }

@@ -2,8 +2,11 @@ package checkpoint
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
+	"bookleaf/internal/hydro"
+	"bookleaf/internal/partition"
 	"bookleaf/internal/setup"
 )
 
@@ -124,5 +127,123 @@ func TestRestoreRejectsMismatch(t *testing.T) {
 func TestReadGarbageFails(t *testing.T) {
 	if _, err := Read(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("garbage decoded")
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	p, _ := setup.Sod(8, 2)
+	s, _ := p.NewState()
+	snap := Capture(s, "sod", 8, 2)
+	snap.Version = 1
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(&buf)
+	if err == nil {
+		t.Fatal("version-1 snapshot accepted")
+	}
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("error %v does not match ErrVersion", err)
+	}
+}
+
+func TestReadTruncatedFails(t *testing.T) {
+	p, _ := setup.Sod(16, 2)
+	s, _ := p.NewState()
+	var buf bytes.Buffer
+	if err := Capture(s, "sod", 16, 2).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated snapshot decoded")
+	}
+}
+
+func TestValidateChecksIdentityAndSizes(t *testing.T) {
+	p, _ := setup.Sod(16, 2)
+	s, _ := p.NewState()
+	snap := Capture(s, "sod", 16, 2)
+	if err := snap.Validate("sod", 16, 2, p.Mesh.NEl, p.Mesh.NNd); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate("noh", 16, 2, p.Mesh.NEl, p.Mesh.NNd); err == nil {
+		t.Fatal("problem mismatch accepted")
+	}
+	if err := snap.Validate("sod", 16, 2, p.Mesh.NEl+1, p.Mesh.NNd); err == nil {
+		t.Fatal("element-count mismatch accepted")
+	}
+	snap.Rho = snap.Rho[:len(snap.Rho)-1]
+	if err := snap.Validate("sod", 16, 2, p.Mesh.NEl, p.Mesh.NNd); err == nil {
+		t.Fatal("internally inconsistent snapshot accepted")
+	}
+}
+
+// A snapshot assembled rank-by-rank through Gather must equal a serial
+// Capture of the same global state, and Restore must restrict it back
+// onto any sub-mesh exactly.
+func TestDistributedGatherMatchesSerialCapture(t *testing.T) {
+	p, err := setup.Sod(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := p.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := serial.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := Capture(serial, "sod", 32, 4)
+
+	// Build 3 local states and copy the evolved serial fields onto
+	// them (owned and ghost), as a converged parallel run would hold.
+	part, err := partition.RCBMesh(p.Mesh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := partition.Split(p.Mesh, part, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New("sod", 32, 4, p.Mesh.NEl, p.Mesh.NNd)
+	for _, sm := range subs {
+		lm := sm.M
+		rho := make([]float64, lm.NEl)
+		ein := make([]float64, lm.NEl)
+		for i, ge := range lm.GlobalEl {
+			rho[i] = p.Rho[ge]
+			ein[i] = p.Ein[ge]
+		}
+		ls, err := hydro.NewState(lm, p.Opt, rho, ein)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Restore(ls, "sod", 32, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Gather(ls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got.SetClock(want.Time, want.DtPrev, want.StepCount, want.ExternalWork, want.FloorEnergy)
+
+	for e := 0; e < want.NEl; e++ {
+		if got.Rho[e] != want.Rho[e] || got.Ein[e] != want.Ein[e] || got.Mass[e] != want.Mass[e] {
+			t.Fatalf("gathered element %d differs from serial capture", e)
+		}
+		for k := 0; k < 4; k++ {
+			if got.CMass[4*e+k] != want.CMass[4*e+k] {
+				t.Fatalf("gathered corner mass %d/%d differs", e, k)
+			}
+		}
+	}
+	for n := 0; n < want.NNd; n++ {
+		if got.X[n] != want.X[n] || got.U[n] != want.U[n] || got.NdMass[n] != want.NdMass[n] {
+			t.Fatalf("gathered node %d differs from serial capture", n)
+		}
 	}
 }

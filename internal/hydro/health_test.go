@@ -1,0 +1,121 @@
+package hydro
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bookleaf/internal/eos"
+	"bookleaf/internal/mesh"
+)
+
+func healthyState(t *testing.T) *State {
+	t.Helper()
+	g, err := eos.NewIdealGas(1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mesh.Rect(mesh.RectSpec{NX: 4, NY: 4, X0: 0, X1: 1, Y0: 0, Y1: 1, Walls: mesh.DefaultWalls()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := make([]float64, m.NEl)
+	ein := make([]float64, m.NEl)
+	for e := range rho {
+		rho[e], ein[e] = 1, 1
+	}
+	s, err := NewState(m, DefaultOptions(g, g), rho, ein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckFiniteCleanState(t *testing.T) {
+	s := healthyState(t)
+	if err := s.CheckFinite(); err != nil {
+		t.Fatalf("clean state flagged: %v", err)
+	}
+}
+
+func TestCheckFiniteFlagsNaNAndInf(t *testing.T) {
+	s := healthyState(t)
+	s.Rho[3] = math.NaN()
+	err := s.CheckFinite()
+	var nf *ErrNonFinite
+	if !errors.As(err, &nf) || nf.Field != "rho" || nf.Index != 3 {
+		t.Fatalf("NaN rho not flagged: %v", err)
+	}
+	s.Rho[3] = 1
+	s.U[5] = math.Inf(1)
+	err = s.CheckFinite()
+	if !errors.As(err, &nf) || nf.Field != "u" || nf.Index != 5 {
+		t.Fatalf("Inf velocity not flagged: %v", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("non-finite error not classified retryable")
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if !Retryable(&ErrDtCollapse{Dt: 1e-14, Element: 2}) {
+		t.Fatal("dt collapse not retryable")
+	}
+	if !Retryable(&ErrTangled{Element: 1, Volume: -1}) {
+		t.Fatal("tangling not retryable")
+	}
+	if Retryable(errors.New("disk on fire")) {
+		t.Fatal("arbitrary error retryable")
+	}
+}
+
+// Save/Load must round-trip the evolving state bit-exactly: run, save,
+// run further, load, re-run — the replay must match the original.
+func TestMementoRollbackIsBitExact(t *testing.T) {
+	s := healthyState(t)
+	// Give it something to do: a converging velocity field.
+	for n := 0; n < s.Mesh.NNd; n++ {
+		s.U[n] = -0.1 * s.X[n]
+		s.V[n] = -0.1 * s.Y[n]
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var m Memento
+	if m.Valid() {
+		t.Fatal("empty memento claims validity")
+	}
+	s.Save(&m)
+
+	record := func() []float64 {
+		out := append([]float64(nil), s.Rho...)
+		out = append(out, s.U...)
+		out = append(out, s.X...)
+		out = append(out, s.Time, s.DtPrev, float64(s.StepCount))
+		return out
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := s.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := record()
+
+	s.Load(&m)
+	if s.StepCount != 5 {
+		t.Fatalf("rollback step count = %d, want 5", s.StepCount)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := s.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := record()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at slot %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+}

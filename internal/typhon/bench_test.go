@@ -15,7 +15,10 @@ func BenchmarkAllReduceMin(b *testing.B) {
 			b.ResetTimer()
 			c.Run(func(r *Rank) {
 				for i := 0; i < b.N; i++ {
-					r.AllReduceMin(float64(r.ID() + i))
+					if _, err := r.AllReduceMin(float64(r.ID() + i)); err != nil {
+						b.Error(err)
+						return
+					}
 				}
 			})
 		})
@@ -48,7 +51,10 @@ func BenchmarkHaloExchange(b *testing.B) {
 					data[f] = make([]float64, 2*halo)
 				}
 				for i := 0; i < b.N; i++ {
-					r.Exchange(h, 1, data...)
+					if err := r.Exchange(h, 1, data...); err != nil {
+						b.Error(err)
+						return
+					}
 				}
 			})
 		})

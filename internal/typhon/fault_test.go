@@ -1,0 +1,204 @@
+package typhon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// An abort raised on one rank must release peers blocked in Recv and
+// Barrier with an error matching ErrAborted — no deadlock.
+func TestAbortUnblocksRecvAndBarrier(t *testing.T) {
+	c, _ := NewComm(3)
+	cause := fmt.Errorf("node died")
+	errs := make([]error, 3)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				_, errs[0] = r.Recv(2) // never sent
+			case 1:
+				errs[1] = r.Barrier() // never completed
+			case 2:
+				time.Sleep(20 * time.Millisecond)
+				r.Abort(cause)
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("abort did not unblock peers")
+	}
+	for id := 0; id < 2; id++ {
+		if errs[id] == nil || !errors.Is(errs[id], ErrAborted) {
+			t.Fatalf("rank %d error = %v, want ErrAborted", id, errs[id])
+		}
+		var ae *AbortError
+		if !errors.As(errs[id], &ae) || ae.Rank != 2 || !errors.Is(ae, ErrAborted) {
+			t.Fatalf("rank %d error = %#v, want AbortError from rank 2", id, errs[id])
+		}
+	}
+	if got := c.Aborted(); got == nil || !errors.Is(got, cause) {
+		t.Fatalf("Aborted() = %v, want cause %v", got, cause)
+	}
+}
+
+// A truncated halo message must surface as a returned
+// *SizeMismatchError that poisons the communicator — not a panic.
+func TestTruncatedMessageReturnsSizeMismatch(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultTruncate}}})
+	errs := make([]error, 2)
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		field := []float64{float64(r.ID()), -1}
+		errs[r.ID()] = r.Exchange(h, 1, field)
+	})
+	// Rank 1 receives the short message and must report the mismatch.
+	var sm *SizeMismatchError
+	if !errors.As(errs[1], &sm) {
+		t.Fatalf("rank 1 error = %v, want *SizeMismatchError", errs[1])
+	}
+	if sm.From != 0 || sm.Got != 0 || sm.Want != 1 {
+		t.Fatalf("mismatch detail = %+v", sm)
+	}
+	if c.Aborted() == nil {
+		t.Fatal("size mismatch did not poison the communicator")
+	}
+}
+
+// A dropped message is detected by the receive timeout, which aborts
+// the communicator so every rank unwinds.
+func TestDroppedMessageTimesOut(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultDrop}}})
+	c.SetRecvTimeout(50 * time.Millisecond)
+	errs := make([]error, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(func(r *Rank) {
+			other := 1 - r.ID()
+			h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+			field := []float64{float64(r.ID()), -1}
+			errs[r.ID()] = r.Exchange(h, 1, field)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("dropped message deadlocked the exchange")
+	}
+	var te *TimeoutError
+	if !errors.As(errs[1], &te) {
+		t.Fatalf("rank 1 error = %v, want *TimeoutError", errs[1])
+	}
+	if errs[0] != nil && !errors.Is(errs[0], ErrAborted) {
+		t.Fatalf("rank 0 error = %v", errs[0])
+	}
+}
+
+// A corrupted message still delivers (with NaN payload) — the transport
+// cannot detect it; the application-level health sentinel must.
+func TestCorruptedMessageDeliversNaN(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultCorrupt}}})
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		field := []float64{float64(r.ID() + 1), -1}
+		if err := r.Exchange(h, 1, field); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+		if r.ID() == 1 && !math.IsNaN(field[1]) {
+			t.Errorf("rank 1 ghost = %v, want NaN from corrupted message", field[1])
+		}
+		if r.ID() == 0 && field[1] != 2 {
+			t.Errorf("rank 0 ghost = %v, want 2 (reverse direction clean)", field[1])
+		}
+	})
+}
+
+// A delayed message arrives late but intact.
+func TestDelayedMessageArrives(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultDelay, Delay: 30 * time.Millisecond}}})
+	start := time.Now()
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		field := []float64{float64(r.ID() + 1), -1}
+		if err := r.Exchange(h, 1, field); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+		if r.ID() == 1 && field[1] != 1 {
+			t.Errorf("rank 1 ghost = %v, want 1", field[1])
+		}
+	})
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("delay fault did not delay")
+	}
+}
+
+// An injected panic mid-exchange must end Run with a *RankPanicError
+// and release the peers — the no-deadlock guarantee under rank death.
+func TestInjectedPanicAbortsExchange(t *testing.T) {
+	c, _ := NewComm(4)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 2, Msg: 1, Kind: FaultPanic}}})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Run(func(r *Rank) {
+			right := (r.ID() + 1) % 4
+			left := (r.ID() + 3) % 4
+			h := NewHalo(map[int][]int{right: {0}}, map[int][]int{left: {1}})
+			field := []float64{float64(r.ID()), -1}
+			for i := 0; i < 10; i++ {
+				if err := r.Exchange(h, 1, field); err != nil {
+					return
+				}
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		var pe *RankPanicError
+		if !errors.As(err, &pe) || pe.Rank != 2 {
+			t.Fatalf("Run error = %v, want panic on rank 2", err)
+		}
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("panic error does not match ErrAborted: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("injected panic deadlocked the communicator")
+	}
+}
+
+// Collectives called after an abort must fail fast, not hang.
+func TestCollectivesFailFastAfterAbort(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Abort(fmt.Errorf("poisoned"))
+		}
+		// Whichever rank arrives first blocks briefly, then both see
+		// the abort.
+		if err := r.Barrier(); err == nil {
+			t.Errorf("rank %d: Barrier succeeded after abort", r.ID())
+		}
+		if _, err := r.AllReduceMin(1); err == nil {
+			t.Errorf("rank %d: AllReduceMin succeeded after abort", r.ID())
+		}
+		if _, err := r.AllReduceSum(1); err == nil {
+			t.Errorf("rank %d: AllReduceSum succeeded after abort", r.ID())
+		}
+		if err := r.Send(1-r.ID(), []float64{1}); err != nil && !errors.Is(err, ErrAborted) {
+			t.Errorf("rank %d: Send error = %v", r.ID(), err)
+		}
+	})
+}

@@ -15,6 +15,15 @@
 //   - AllReduceMin/Sum/MinLoc and Barrier are collectives over all
 //     ranks; every rank must call them in the same order.
 //
+// Fault tolerance: the communicator carries an abort "poison" path
+// (Comm.Abort). Once poisoned — by an explicit Abort, a recovered rank
+// panic, a malformed message, or a receive timeout — every blocked or
+// subsequent communication call returns an error matching ErrAborted
+// instead of deadlocking, so one dead rank brings the others down
+// cleanly. A FaultPlan (fault.go) injects message-level faults for
+// resilience testing: dropped, truncated, corrupted or delayed
+// messages, and rank panics mid-exchange.
+//
 // Deadlock note: channels are buffered, so the halo-exchange pattern
 // "send to all neighbours, then receive from all neighbours" cannot
 // deadlock regardless of rank scheduling.
@@ -22,7 +31,9 @@ package typhon
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"time"
 )
 
 // Comm is a communicator over a fixed number of ranks.
@@ -36,6 +47,16 @@ type Comm struct {
 	gen     int
 	redVals []float64
 	redLocs []int
+
+	// Abort machinery: abortCh is closed (and abort set, under mu) by
+	// the first Abort call; blocked operations select on it.
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	abort     *AbortError
+
+	// Injected faults and the receive deadline (fault.go).
+	faults      []Fault
+	recvTimeout time.Duration
 
 	// Per-rank traffic counters (each written only by its own rank's
 	// goroutine; read after Run returns).
@@ -51,6 +72,7 @@ func NewComm(n int) (*Comm, error) {
 	c := &Comm{
 		n: n, redVals: make([]float64, n), redLocs: make([]int, n),
 		sentMsgs: make([]int64, n), sentWords: make([]int64, n),
+		abortCh: make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.chans = make([][]chan []float64, n)
@@ -71,18 +93,22 @@ func NewComm(n int) (*Comm, error) {
 func (c *Comm) Size() int { return c.n }
 
 // Run spawns one goroutine per rank executing body and waits for all of
-// them. A panicking rank propagates its panic to the caller after the
-// others finish or block.
-func (c *Comm) Run(body func(r *Rank)) {
+// them. A panicking rank is recovered, aborts the communicator (so
+// peers blocked in Recv/Barrier unwind with ErrAborted instead of
+// deadlocking), and is reported as a *RankPanicError in Run's return
+// value. Run returns the first rank's panic error, or nil.
+func (c *Comm) Run(body func(r *Rank)) error {
 	var wg sync.WaitGroup
 	wg.Add(c.n)
-	panics := make([]any, c.n)
+	panics := make([]error, c.n)
 	for id := 0; id < c.n; id++ {
 		go func(id int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[id] = p
+					err := &RankPanicError{Rank: id, Value: p}
+					panics[id] = err
+					c.Abort(id, err)
 				}
 			}()
 			body(&Rank{comm: c, id: id})
@@ -91,9 +117,10 @@ func (c *Comm) Run(body func(r *Rank)) {
 	wg.Wait()
 	for _, p := range panics {
 		if p != nil {
-			panic(p)
+			return p
 		}
 	}
+	return nil
 }
 
 // Rank is one process's handle on the communicator.
@@ -108,63 +135,126 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the communicator size.
 func (r *Rank) Size() int { return r.comm.n }
 
-// Send copies data and enqueues it for dst. Sending to self panics —
-// local data never travels through the halo machinery.
-func (r *Rank) Send(dst int, data []float64) {
+// send counts, applies any armed fault, and enqueues an owned buffer.
+func (r *Rank) send(dst int, buf []float64) error {
+	c := r.comm
+	c.sentMsgs[r.id]++
+	c.sentWords[r.id] += int64(len(buf))
+	if f := c.faultFor(r.id, c.sentMsgs[r.id]); f != nil {
+		switch f.Kind {
+		case FaultPanic:
+			panic(fmt.Sprintf("typhon: injected fault: rank %d panics sending message %d", r.id, c.sentMsgs[r.id]))
+		case FaultDrop:
+			return nil // counted, never delivered
+		case FaultTruncate:
+			if len(buf) > 0 {
+				buf = buf[:len(buf)-1]
+			}
+		case FaultCorrupt:
+			if len(buf) > 0 {
+				buf[0] = math.NaN()
+			}
+		case FaultDelay:
+			time.Sleep(f.Delay)
+		}
+	}
+	select {
+	case c.chans[r.id][dst] <- buf:
+		return nil
+	case <-c.abortCh:
+		return c.abortErr()
+	}
+}
+
+// Send copies data and enqueues it for dst. It returns an error
+// matching ErrAborted if the communicator has been poisoned. Sending to
+// self panics — local data never travels through the halo machinery.
+func (r *Rank) Send(dst int, data []float64) error {
 	if dst == r.id {
 		panic("typhon: send to self")
 	}
 	buf := make([]float64, len(data))
 	copy(buf, data)
-	r.comm.sentMsgs[r.id]++
-	r.comm.sentWords[r.id] += int64(len(buf))
-	r.comm.chans[r.id][dst] <- buf
+	return r.send(dst, buf)
 }
 
 // Recv blocks until the next message from src arrives and returns it.
-func (r *Rank) Recv(src int) []float64 {
+// It unblocks with an error matching ErrAborted when the communicator
+// is poisoned, and with a *TimeoutError (also aborting the
+// communicator) when a receive timeout is configured and expires.
+func (r *Rank) Recv(src int) ([]float64, error) {
 	if src == r.id {
 		panic("typhon: recv from self")
 	}
-	return <-r.comm.chans[src][r.id]
+	c := r.comm
+	ch := c.chans[src][r.id]
+	var deadline <-chan time.Time
+	if c.recvTimeout > 0 {
+		t := time.NewTimer(c.recvTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case buf := <-ch:
+		return buf, nil
+	case <-c.abortCh:
+		return nil, c.abortErr()
+	case <-deadline:
+		err := &TimeoutError{Rank: r.id, From: src, After: c.recvTimeout}
+		c.Abort(r.id, err)
+		return nil, err
+	}
 }
 
 // barrier blocks until all ranks arrive. The mutex hand-off makes all
-// writes before the barrier visible to all ranks after it.
-func (c *Comm) barrier() {
+// writes before the barrier visible to all ranks after it. An abort
+// releases every waiter with the abort error.
+func (c *Comm) barrier() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.abort != nil {
+		return c.abort
+	}
 	c.count++
 	if c.count == c.n {
 		c.count = 0
 		c.gen++
 		c.cond.Broadcast()
-		return
+		return nil
 	}
 	g := c.gen
-	for c.gen == g {
+	for c.gen == g && c.abort == nil {
 		c.cond.Wait()
 	}
+	if c.gen == g && c.abort != nil {
+		// The barrier never completed; we were released by the abort.
+		return c.abort
+	}
+	return nil
 }
 
-// Barrier blocks until every rank has called it.
-func (r *Rank) Barrier() { r.comm.barrier() }
+// Barrier blocks until every rank has called it, or returns an error
+// matching ErrAborted if the communicator is poisoned.
+func (r *Rank) Barrier() error { return r.comm.barrier() }
 
 // AllReduceMin returns the global minimum of v across ranks.
-func (r *Rank) AllReduceMin(v float64) float64 {
-	m, _ := r.AllReduceMinLoc(v, r.id)
-	return m
+func (r *Rank) AllReduceMin(v float64) (float64, error) {
+	m, _, err := r.AllReduceMinLoc(v, r.id)
+	return m, err
 }
 
 // AllReduceMinLoc returns the global minimum and the loc tag supplied
 // by the rank holding it (ties resolve to the lowest rank), mirroring
 // MPI_MINLOC — BookLeaf uses it to report the timestep-controlling
-// element.
-func (r *Rank) AllReduceMinLoc(v float64, loc int) (float64, int) {
+// element. On abort it returns the inputs unchanged and the abort
+// error.
+func (r *Rank) AllReduceMinLoc(v float64, loc int) (float64, int, error) {
 	c := r.comm
 	c.redVals[r.id] = v
 	c.redLocs[r.id] = loc
-	c.barrier()
+	if err := c.barrier(); err != nil {
+		return v, loc, err
+	}
 	min, ml := c.redVals[0], c.redLocs[0]
 	for i := 1; i < c.n; i++ {
 		if c.redVals[i] < min {
@@ -173,22 +263,28 @@ func (r *Rank) AllReduceMinLoc(v float64, loc int) (float64, int) {
 	}
 	// Second barrier so no rank overwrites redVals for a subsequent
 	// reduction while others still read.
-	c.barrier()
-	return min, ml
+	if err := c.barrier(); err != nil {
+		return v, loc, err
+	}
+	return min, ml, nil
 }
 
 // AllReduceSum returns the sum of v across ranks. The combination order
 // is rank order on every rank, so all ranks get bit-identical results.
-func (r *Rank) AllReduceSum(v float64) float64 {
+func (r *Rank) AllReduceSum(v float64) (float64, error) {
 	c := r.comm
 	c.redVals[r.id] = v
-	c.barrier()
+	if err := c.barrier(); err != nil {
+		return v, err
+	}
 	var s float64
 	for i := 0; i < c.n; i++ {
 		s += c.redVals[i]
 	}
-	c.barrier()
-	return s
+	if err := c.barrier(); err != nil {
+		return v, err
+	}
+	return s, nil
 }
 
 // Stats returns the total messages and float64 words sent across all
@@ -242,7 +338,12 @@ func sortInts(a []int) {
 // message; received messages are unpacked into the recv-list entries.
 // stride is the number of consecutive array slots per entity (1 for
 // nodal/element scalars, 8 for per-corner force pairs, etc.).
-func (r *Rank) Exchange(h *Halo, stride int, fields ...[]float64) {
+//
+// A received message whose size does not match the registered pattern
+// is a data fault, not a programming error: Exchange aborts the
+// communicator and returns a *SizeMismatchError, so a single malformed
+// message fails the whole run cleanly instead of crashing the process.
+func (r *Rank) Exchange(h *Halo, stride int, fields ...[]float64) error {
 	if stride < 1 {
 		panic("typhon: stride must be >= 1")
 	}
@@ -256,16 +357,21 @@ func (r *Rank) Exchange(h *Halo, stride int, fields ...[]float64) {
 				buf = append(buf, f[i*stride:(i+1)*stride]...)
 			}
 		}
-		r.comm.sentMsgs[r.id]++
-		r.comm.sentWords[r.id] += int64(len(buf))
-		r.comm.chans[r.id][dst] <- buf
+		if err := r.send(dst, buf); err != nil {
+			return err
+		}
 	}
 	for _, src := range h.recvOrder {
 		idx := h.RecvFrom[src]
-		buf := <-r.comm.chans[src][r.id]
+		buf, err := r.Recv(src)
+		if err != nil {
+			return err
+		}
 		want := len(idx) * stride * len(fields)
 		if len(buf) != want {
-			panic(fmt.Sprintf("typhon: exchange size mismatch from rank %d: got %d want %d", src, len(buf), want))
+			err := &SizeMismatchError{From: src, To: r.id, Got: len(buf), Want: want}
+			r.comm.Abort(r.id, err)
+			return err
 		}
 		pos := 0
 		for _, f := range fields {
@@ -275,4 +381,5 @@ func (r *Rank) Exchange(h *Halo, stride int, fields ...[]float64) {
 			}
 		}
 	}
+	return nil
 }

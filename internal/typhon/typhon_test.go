@@ -1,6 +1,7 @@
 package typhon
 
 import (
+	"errors"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -15,12 +16,14 @@ func TestNewCommRejectsZeroRanks(t *testing.T) {
 func TestRunSpawnsAllRanks(t *testing.T) {
 	c, _ := NewComm(5)
 	var mask int32
-	c.Run(func(r *Rank) {
+	if err := c.Run(func(r *Rank) {
 		atomic.OrInt32(&mask, 1<<r.ID())
 		if r.Size() != 5 {
 			t.Errorf("Size = %d, want 5", r.Size())
 		}
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if mask != 31 {
 		t.Fatalf("rank mask = %b, want 11111", mask)
 	}
@@ -30,17 +33,19 @@ func TestSendRecvRoundTrip(t *testing.T) {
 	c, _ := NewComm(2)
 	c.Run(func(r *Rank) {
 		if r.ID() == 0 {
-			r.Send(1, []float64{1, 2, 3})
-			got := r.Recv(1)
+			must(t, r.Send(1, []float64{1, 2, 3}))
+			got, err := r.Recv(1)
+			must(t, err)
 			if len(got) != 1 || got[0] != 9 {
 				t.Errorf("rank 0 received %v", got)
 			}
 		} else {
-			got := r.Recv(0)
+			got, err := r.Recv(0)
+			must(t, err)
 			if len(got) != 3 || got[2] != 3 {
 				t.Errorf("rank 1 received %v", got)
 			}
-			r.Send(0, []float64{9})
+			must(t, r.Send(0, []float64{9}))
 		}
 	})
 }
@@ -50,11 +55,12 @@ func TestSendCopiesPayload(t *testing.T) {
 	c.Run(func(r *Rank) {
 		if r.ID() == 0 {
 			data := []float64{42}
-			r.Send(1, data)
+			must(t, r.Send(1, data))
 			data[0] = -1 // mutate after send; receiver must see 42
 			r.Barrier()
 		} else {
-			got := r.Recv(0)
+			got, err := r.Recv(0)
+			must(t, err)
 			r.Barrier()
 			if got[0] != 42 {
 				t.Errorf("received %v, want 42 (payload aliased?)", got[0])
@@ -68,11 +74,13 @@ func TestMessageOrderPreserved(t *testing.T) {
 	c.Run(func(r *Rank) {
 		if r.ID() == 0 {
 			for i := 0; i < 10; i++ {
-				r.Send(1, []float64{float64(i)})
+				must(t, r.Send(1, []float64{float64(i)}))
 			}
 		} else {
 			for i := 0; i < 10; i++ {
-				if got := r.Recv(0); got[0] != float64(i) {
+				got, err := r.Recv(0)
+				must(t, err)
+				if got[0] != float64(i) {
 					t.Errorf("message %d out of order: %v", i, got[0])
 					return
 				}
@@ -81,21 +89,25 @@ func TestMessageOrderPreserved(t *testing.T) {
 	})
 }
 
-func TestSelfSendPanics(t *testing.T) {
+func TestSelfSendFailsRun(t *testing.T) {
 	c, _ := NewComm(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("self-send did not panic")
-		}
-	}()
-	c.Run(func(r *Rank) { r.Send(0, nil) })
+	err := c.Run(func(r *Rank) { r.Send(0, nil) })
+	if err == nil {
+		t.Fatal("self-send did not fail the run")
+	}
+	var pe *RankPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("self-send error %T, want *RankPanicError", err)
+	}
 }
 
 func TestAllReduceMin(t *testing.T) {
 	c, _ := NewComm(7)
 	c.Run(func(r *Rank) {
 		v := float64(10 - r.ID())
-		if m := r.AllReduceMin(v); m != 4 {
+		m, err := r.AllReduceMin(v)
+		must(t, err)
+		if m != 4 {
 			t.Errorf("rank %d: min = %v, want 4", r.ID(), m)
 		}
 	})
@@ -105,7 +117,8 @@ func TestAllReduceMinLoc(t *testing.T) {
 	c, _ := NewComm(4)
 	c.Run(func(r *Rank) {
 		vals := []float64{5, 1, 3, 1}
-		m, loc := r.AllReduceMinLoc(vals[r.ID()], 100+r.ID())
+		m, loc, err := r.AllReduceMinLoc(vals[r.ID()], 100+r.ID())
+		must(t, err)
 		if m != 1 || loc != 101 {
 			t.Errorf("rank %d: minloc = (%v,%d), want (1,101)", r.ID(), m, loc)
 		}
@@ -116,7 +129,9 @@ func TestAllReduceSumDeterministic(t *testing.T) {
 	c, _ := NewComm(6)
 	results := make([]float64, 6)
 	c.Run(func(r *Rank) {
-		results[r.ID()] = r.AllReduceSum(0.1 * float64(r.ID()+1))
+		s, err := r.AllReduceSum(0.1 * float64(r.ID()+1))
+		must(t, err)
+		results[r.ID()] = s
 	})
 	for i := 1; i < 6; i++ {
 		if results[i] != results[0] {
@@ -133,7 +148,8 @@ func TestRepeatedReductionsDoNotInterfere(t *testing.T) {
 	c.Run(func(r *Rank) {
 		for i := 0; i < 50; i++ {
 			want := float64(i)
-			got := r.AllReduceMin(want + float64(r.ID()))
+			got, err := r.AllReduceMin(want + float64(r.ID()))
+			must(t, err)
 			if got != want {
 				t.Errorf("iteration %d: min = %v, want %v", i, got, want)
 				return
@@ -147,7 +163,7 @@ func TestBarrierSynchronises(t *testing.T) {
 	var before, wrong int32
 	c.Run(func(r *Rank) {
 		atomic.AddInt32(&before, 1)
-		r.Barrier()
+		must(t, r.Barrier())
 		if atomic.LoadInt32(&before) != 8 {
 			atomic.AddInt32(&wrong, 1)
 		}
@@ -171,7 +187,7 @@ func TestExchangeScalarHalo(t *testing.T) {
 			map[int][]int{other: {2}},
 			map[int][]int{other: {3}},
 		)
-		r.Exchange(h, 1, field)
+		must(t, r.Exchange(h, 1, field))
 		want := float64(10*other + 2)
 		if field[3] != want {
 			t.Errorf("rank %d ghost = %v, want %v", r.ID(), field[3], want)
@@ -188,7 +204,7 @@ func TestExchangeStrided(t *testing.T) {
 		field[1] = float64(r.ID()) + 0.5
 		other := 1 - r.ID()
 		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
-		r.Exchange(h, 2, field)
+		must(t, r.Exchange(h, 2, field))
 		if field[2] != float64(other)+0.25 || field[3] != float64(other)+0.5 {
 			t.Errorf("rank %d strided ghost = %v", r.ID(), field[2:])
 		}
@@ -202,7 +218,7 @@ func TestExchangeMultipleFields(t *testing.T) {
 		b := []float64{float64(r.ID() + 10), 0}
 		other := 1 - r.ID()
 		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
-		r.Exchange(h, 1, a, b)
+		must(t, r.Exchange(h, 1, a, b))
 		if a[1] != float64(other+1) || b[1] != float64(other+10) {
 			t.Errorf("rank %d multi-field ghosts = %v %v", r.ID(), a[1], b[1])
 		}
@@ -220,7 +236,7 @@ func TestExchangeRing(t *testing.T) {
 		field := []float64{0, -1}
 		for iter := 0; iter < 20; iter++ {
 			field[0] = float64(100*iter + r.ID())
-			r.Exchange(h, 1, field)
+			must(t, r.Exchange(h, 1, field))
 			if field[1] != float64(100*iter+left) {
 				t.Errorf("iter %d rank %d got %v", iter, r.ID(), field[1])
 				return
@@ -229,16 +245,30 @@ func TestExchangeRing(t *testing.T) {
 	})
 }
 
-func TestRunPropagatesPanic(t *testing.T) {
+func TestRunReportsPanicAsError(t *testing.T) {
 	c, _ := NewComm(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("panic not propagated from rank")
-		}
-	}()
-	c.Run(func(r *Rank) {
+	recvErrs := make([]error, 2)
+	err := c.Run(func(r *Rank) {
 		if r.ID() == 1 {
 			panic("rank failure")
 		}
+		// Rank 0 blocks in Recv; the panic must unblock it.
+		_, recvErrs[0] = r.Recv(1)
 	})
+	if err == nil {
+		t.Fatal("panic not reported from rank")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("panic error %v does not match ErrAborted", err)
+	}
+	if recvErrs[0] == nil || !errors.Is(recvErrs[0], ErrAborted) {
+		t.Fatalf("peer Recv error = %v, want ErrAborted", recvErrs[0])
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,9 +1,12 @@
 package bookleaf
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"bookleaf/internal/ale"
+	"bookleaf/internal/checkpoint"
 	"bookleaf/internal/hydro"
 	"bookleaf/internal/par"
 	"bookleaf/internal/partition"
@@ -12,11 +15,32 @@ import (
 	"bookleaf/internal/typhon"
 )
 
+// Collective step-status codes, reduced with AllReduceMin at the top of
+// every driver iteration so all ranks agree on the worst rank's state.
+// Exact float values: the min of any combination is the dominant code.
+const (
+	stOK    = 1.0
+	stRetry = 0.0
+	stFatal = -1.0
+)
+
 // runParallel executes the problem across goroutine ranks with the
 // Typhon-style communication schedule the paper describes: ghost nodal
 // kinematics refreshed for the viscosity limiter, ghost corner forces
 // refreshed immediately before the acceleration calculation, and a
 // single global MINLOC reduction per step for the timestep.
+//
+// Fault tolerance wraps that schedule in three layers. A status
+// reduction at the top of every iteration classifies the step as ok,
+// retryable or fatal; retryable failures (timestep collapse, tangled
+// element, non-finite field) trigger a collective rollback to a rolling
+// in-memory snapshot with a halved timestep cap, bounded by
+// Config.RetryBudget. Checkpoints are gathered collectively into a
+// partition-independent global snapshot (format v2), so a run
+// checkpointed here can resume at any rank count. Communication faults
+// poison the Comm through its abort path: every blocked rank unblocks
+// with an error matching typhon.ErrAborted and the run ends with the
+// root cause, not a deadlock.
 func runParallel(cfg Config) (*Result, error) {
 	p, err := setup.ByName(cfg.Problem, cfg.NX, cfg.NY, cfg.SedovEnergy)
 	if err != nil {
@@ -42,10 +66,34 @@ func runParallel(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.testFaultPlan != nil {
+		comm.InjectFaults(cfg.testFaultPlan)
+	}
+	if cfg.testRecvTimeout > 0 {
+		comm.SetRecvTimeout(cfg.testRecvTimeout)
+	}
 
 	tEnd := p.TEnd
 	if cfg.TEnd > 0 {
 		tEnd = cfg.TEnd
+	}
+
+	// Resume dumps are read and validated once, before any ranks spawn:
+	// a missing, truncated or incompatible dump fails here with a clear
+	// error instead of collapsing ranks mid-flight.
+	var resume *checkpoint.Snapshot
+	if cfg.Resume != "" {
+		resume, err = loadSnapshot(cfg.Resume, cfg.Problem, cfg.NX, cfg.NY, p.Mesh.NEl, p.Mesh.NNd)
+		if err != nil {
+			return nil, fmt.Errorf("bookleaf: %w", err)
+		}
+	}
+	// Checkpoints gather into one shared global snapshot: the owned
+	// slots of the ranks are disjoint, and the collective protocol in
+	// writeCk orders the gathers before rank 0 serialises it.
+	var gsnap *checkpoint.Snapshot
+	if cfg.Checkpoint != "" {
+		gsnap = checkpoint.New(cfg.Problem, cfg.NX, cfg.NY, p.Mesh.NEl, p.Mesh.NNd)
 	}
 
 	res := &Result{
@@ -68,8 +116,9 @@ func runParallel(cfg Config) (*Result, error) {
 	rankF := make([]float64, cfg.Ranks)
 	rankSteps := make([]int, cfg.Ranks)
 	rankTime := make([]float64, cfg.Ranks)
+	rankRoll := make([]int, cfg.Ranks)
 
-	comm.Run(func(rk *typhon.Rank) {
+	runErr := comm.Run(func(rk *typhon.Rank) {
 		sm := subs[rk.ID()]
 		lm := sm.M
 		// Restrict initial fields to the local mesh.
@@ -81,15 +130,42 @@ func runParallel(cfg Config) (*Result, error) {
 		}
 		s, err := hydro.NewState(lm, p.Opt, rho, ein)
 		if err != nil {
-			rankErrs[rk.ID()] = err
-			rk.AllReduceMin(-1) // let peers abort their first status check
+			rankErrs[rk.ID()] = fmt.Errorf("rank %d: %w", rk.ID(), err)
+			rk.AllReduceMin(stFatal) // let peers abort their first status check
 			return
 		}
 		p.ApplyVelocities(s)
 		s.Pool = par.New(cfg.Threads)
 
+		if resume != nil {
+			if err := resume.Restore(s, cfg.Problem, cfg.NX, cfg.NY); err != nil {
+				rankErrs[rk.ID()] = fmt.Errorf("rank %d resume: %w", rk.ID(), err)
+				rk.AllReduceMin(stFatal)
+				return
+			}
+			// The snapshot stores the global (rank-summed) audit
+			// accumulators; keep them on rank 0 only so the final
+			// re-summation stays correct.
+			if rk.ID() != 0 {
+				s.ExternalWork, s.FloorEnergy = 0, 0
+			}
+		}
+
 		elHalo := typhon.NewHalo(sm.ElSend, sm.ElRecv)
 		ndHalo := typhon.NewHalo(sm.NdSend, sm.NdRecv)
+
+		// commErr latches the first communication failure on this rank;
+		// all later exchanges no-op so the rank drains to the next
+		// status check instead of blocking on a poisoned Comm.
+		var commErr error
+		exch := func(h *typhon.Halo, stride int, fields ...[]float64) {
+			if commErr != nil {
+				return
+			}
+			if err := rk.Exchange(h, stride, fields...); err != nil {
+				commErr = err
+			}
+		}
 
 		var remap *ale.Remapper
 		if a := cfg.aleOptions(); a != nil {
@@ -97,22 +173,33 @@ func runParallel(cfg Config) (*Result, error) {
 		}
 		aleHooks := &ale.Hooks{
 			ExchangeCellFields: func(fields ...[]float64) {
-				rk.Exchange(elHalo, 1, fields...)
+				exch(elHalo, 1, fields...)
 			},
 		}
 
 		tm := timers.NewSet()
+		dtCap := math.Inf(1)
 		// hooksDone counts the exchange hooks run in the current step
 		// so a failing rank can compensate the ones its peers still
 		// expect (see the failure path below).
 		hooksDone := 0
 		hooks := &hydro.Hooks{
 			ReduceDt: func(dt float64, e int) (float64, int) {
+				if dt > dtCap {
+					dt = dtCap
+				}
 				loc := -1
 				if e >= 0 {
 					loc = lm.GlobalEl[e]
 				}
-				dt, loc = rk.AllReduceMinLoc(dt, loc)
+				if commErr == nil {
+					d, l, err := rk.AllReduceMinLoc(dt, loc)
+					if err != nil {
+						commErr = err
+					} else {
+						dt, loc = d, l
+					}
+				}
 				if s.Time+dt > tEnd {
 					dt = tEnd - s.Time
 				}
@@ -120,23 +207,126 @@ func runParallel(cfg Config) (*Result, error) {
 			},
 			ExchangeForces: func(st *hydro.State) {
 				hooksDone++
-				rk.Exchange(elHalo, 4, st.FX, st.FY)
+				exch(elHalo, 4, st.FX, st.FY)
 			},
 			ExchangeVelocities: func(st *hydro.State) {
 				hooksDone++
-				rk.Exchange(ndHalo, 1, st.U, st.V, st.UBar, st.VBar)
+				exch(ndHalo, 1, st.U, st.V, st.UBar, st.VBar)
 			},
 		}
 
-		var myErr error
-		for {
-			// Collective status check: any failed rank aborts all.
-			status := 1.0
-			if myErr != nil {
-				status = -1
+		// writeCk gathers every rank's owned entities into the shared
+		// global snapshot and has rank 0 write it. The reductions
+		// double as barriers: all gathers complete before the write,
+		// and no rank re-gathers before the write finishes. Called
+		// collectively — every rank at the same step.
+		writeCk := func() error {
+			ok := stOK
+			if err := gsnap.Gather(s); err != nil {
+				ok = stFatal
 			}
-			if rk.AllReduceMin(status) < 0 {
+			work, err := rk.AllReduceSum(s.ExternalWork)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			floor, err := rk.AllReduceSum(s.FloorEnergy)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			g, err := rk.AllReduceMin(ok)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			if g < 0 {
+				return fmt.Errorf("rank %d: checkpoint gather failed", rk.ID())
+			}
+			var wErr error
+			if rk.ID() == 0 {
+				gsnap.SetClock(s.Time, s.DtPrev, s.StepCount, work, floor)
+				wErr = writeSnapshotFile(cfg.Checkpoint, gsnap)
+			}
+			ok = stOK
+			if wErr != nil {
+				ok = stFatal
+			}
+			g, err = rk.AllReduceMin(ok)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			if g < 0 {
+				if wErr != nil {
+					return wErr
+				}
+				return fmt.Errorf("rank %d: checkpoint write failed on rank 0", rk.ID())
+			}
+			return nil
+		}
+
+		rollEvery := cfg.rollbackEvery()
+		budget := cfg.retryBudget()
+		if rollEvery == 0 {
+			budget = 0
+		}
+		var roll hydro.Memento
+		if budget > 0 {
+			s.Save(&roll) // cover steps before the first cadence point
+		}
+		var stepErr, fatalErr error
+		rollbacks := 0
+		lastCk := -1
+		for {
+			if fatalErr == nil && commErr != nil {
+				fatalErr = fmt.Errorf("rank %d: %w", rk.ID(), commErr)
+			}
+			code := stOK
+			switch {
+			case fatalErr != nil:
+				code = stFatal
+			case stepErr != nil:
+				if budget > 0 && hydro.Retryable(stepErr) {
+					code = stRetry
+				} else {
+					fatalErr = stepErr
+					code = stFatal
+				}
+			}
+			g, err := rk.AllReduceMin(code)
+			if err != nil {
+				if fatalErr == nil {
+					fatalErr = fmt.Errorf("rank %d: %w", rk.ID(), err)
+				}
 				break
+			}
+			if g <= stFatal {
+				if fatalErr == nil {
+					if stepErr != nil {
+						fatalErr = stepErr
+					} else {
+						fatalErr = fmt.Errorf("rank %d stopped by peer failure: %w", rk.ID(), typhon.ErrAborted)
+					}
+				}
+				break
+			}
+			if g < stOK {
+				// Collective rollback: every rank restores its snapshot
+				// of the same step and halves the shared timestep cap.
+				// budget and dtCap stay identical across ranks because
+				// both only change here.
+				budget--
+				rollbacks++
+				s.Load(&roll)
+				dtCap = math.Min(dtCap, s.DtPrev) / 2
+				stepErr = nil
+				continue
+			}
+			// All ranks healthy and at the same step.
+			if gsnap != nil && cfg.CheckpointEvery > 0 && s.StepCount > 0 &&
+				s.StepCount%cfg.CheckpointEvery == 0 && s.StepCount != lastCk {
+				lastCk = s.StepCount
+				if err := writeCk(); err != nil {
+					fatalErr = err
+					continue
+				}
 			}
 			if s.Time >= tEnd-1e-12 {
 				break
@@ -144,22 +334,25 @@ func runParallel(cfg Config) (*Result, error) {
 			if cfg.MaxSteps > 0 && s.StepCount >= cfg.MaxSteps {
 				break
 			}
+			if budget > 0 && s.StepCount%rollEvery == 0 {
+				s.Save(&roll)
+			}
 			hooksDone = 0
 			if _, err := s.Step(tm, hooks); err != nil {
-				myErr = fmt.Errorf("rank %d step %d: %w", rk.ID(), s.StepCount, err)
+				stepErr = fmt.Errorf("rank %d step %d (t=%v): %w", rk.ID(), s.StepCount, s.Time, err)
 				// Compensate the exchanges peers will still perform
 				// this step, keeping the schedule deadlock-free.
 				if hooksDone < 1 {
-					rk.Exchange(elHalo, 4, s.FX, s.FY)
+					exch(elHalo, 4, s.FX, s.FY)
 				}
 				if hooksDone < 2 {
-					rk.Exchange(ndHalo, 1, s.U, s.V, s.UBar, s.VBar)
+					exch(ndHalo, 1, s.U, s.V, s.UBar, s.VBar)
 				}
 				// Peers that completed the step will also run the
 				// remap exchange (their StepCount is one ahead).
 				if remap != nil && (s.StepCount+1)%cfg.ALEFreq == 0 {
 					remap.ExchangeScratch(aleHooks)
-					rk.Exchange(ndHalo, 1, s.U, s.V)
+					exch(ndHalo, 1, s.U, s.V)
 				}
 				continue
 			}
@@ -170,11 +363,32 @@ func runParallel(cfg Config) (*Result, error) {
 				// ranks: refresh them for the next viscosity
 				// calculation. Performed even on failure so peers
 				// don't block.
-				rk.Exchange(ndHalo, 1, s.U, s.V)
+				exch(ndHalo, 1, s.U, s.V)
 				tm.Stop(hydro.TimerALE)
 				if err != nil {
-					myErr = fmt.Errorf("rank %d remap step %d: %w", rk.ID(), s.StepCount, err)
+					stepErr = fmt.Errorf("rank %d remap step %d: %w", rk.ID(), s.StepCount, err)
+					continue
 				}
+			}
+			if cfg.testFault != nil {
+				cfg.testFault(rk.ID(), s.StepCount, s)
+			}
+			// Health sentinel: a NaN/Inf in the evolving fields rolls
+			// the run back rather than silently spreading through the
+			// next halo exchange.
+			if err := s.CheckFinite(); err != nil {
+				stepErr = fmt.Errorf("rank %d step %d (t=%v): %w", rk.ID(), s.StepCount, s.Time, err)
+				continue
+			}
+			if !math.IsInf(dtCap, 1) {
+				dtCap *= s.Opt.DtGrowth
+			}
+		}
+		// Final checkpoint. fatalErr is collectively consistent (set on
+		// every rank or on none), so participation matches.
+		if fatalErr == nil && gsnap != nil {
+			if err := writeCk(); err != nil {
+				fatalErr = err
 			}
 		}
 
@@ -193,7 +407,7 @@ func runParallel(cfg Config) (*Result, error) {
 			res.X[gn] = s.X[i]
 			res.Y[gn] = s.Y[i]
 		}
-		rankErrs[rk.ID()] = myErr
+		rankErrs[rk.ID()] = fatalErr
 		rankTimers[rk.ID()] = tm
 		rankEF[rk.ID()] = s.TotalEnergy()
 		rankMF[rk.ID()] = s.TotalMass()
@@ -201,12 +415,31 @@ func runParallel(cfg Config) (*Result, error) {
 		rankF[rk.ID()] = s.FloorEnergy
 		rankSteps[rk.ID()] = s.StepCount
 		rankTime[rk.ID()] = s.Time
+		rankRoll[rk.ID()] = rollbacks
 	})
 
+	// Root-cause selection: prefer the rank error that is not a
+	// peer-abort echo (a timeout, size mismatch, or hydro failure
+	// carries the cause; AbortError wrappers on the other ranks are
+	// consequences).
+	var abortedErr error
 	for _, e := range rankErrs {
-		if e != nil {
-			return nil, fmt.Errorf("bookleaf: %w", e)
+		if e == nil {
+			continue
 		}
+		if errors.Is(e, typhon.ErrAborted) {
+			if abortedErr == nil {
+				abortedErr = e
+			}
+			continue
+		}
+		return nil, fmt.Errorf("bookleaf: %w", e)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("bookleaf: %w", runErr)
+	}
+	if abortedErr != nil {
+		return nil, fmt.Errorf("bookleaf: %w", abortedErr)
 	}
 	maxT := timers.NewSet()
 	sumT := timers.NewSet()
@@ -225,6 +458,7 @@ func runParallel(cfg Config) (*Result, error) {
 	}
 	res.Steps = rankSteps[0]
 	res.Time = rankTime[0]
+	res.Rollbacks = rankRoll[0]
 	for _, w := range rankW {
 		res.ExternalWork += w
 	}
