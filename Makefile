@@ -5,10 +5,16 @@
 # under the race detector — slower, but it is the tier that exercises
 # the abort paths, rollback-retry and the collective checkpoint
 # protocol with real goroutine interleavings.
+# tier2-par races the threading substrate and the hydro kernels at
+# several GOMAXPROCS settings, so the persistent worker pool's
+# channel-based synchronisation is exercised under both starved and
+# oversubscribed schedulers.
+# bench records the perf trajectory to BENCH_step.json so future
+# changes can be judged against it (see CHANGES.md for the cadence).
 
 GO ?= go
 
-.PHONY: all build tier1 tier2-fault test bench clean
+.PHONY: all build tier1 tier2-fault tier2-par test bench bench-all clean
 
 all: build
 
@@ -21,9 +27,21 @@ tier1: build
 tier2-fault:
 	$(GO) test -race ./... -run 'Parallel|Typhon|Fault|Rollback|Checkpoint|Resume|Abort|Injected|Truncated|Dropped|Delayed|Corrupted' -count=1
 
-test: tier1 tier2-fault
+tier2-par:
+	GOMAXPROCS=1 $(GO) test -race ./internal/par ./internal/hydro -count=1
+	GOMAXPROCS=2 $(GO) test -race ./internal/par ./internal/hydro -count=1
+	GOMAXPROCS=8 $(GO) test -race ./internal/par ./internal/hydro -count=1
 
+test: tier1 tier2-fault tier2-par
+
+# The three step-path benchmarks, 5 repetitions each, aggregated into
+# BENCH_step.json (min ns/op, max allocs/op per name).
 bench:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkLagrangianStep$$|BenchmarkRemap$$' -benchmem -count=5 . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkStepThreads' -benchmem -count=5 ./internal/hydro ; } \
+	  | $(GO) run ./cmd/bleaf-bench -o BENCH_step.json
+
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 clean:

@@ -71,10 +71,11 @@ type Config struct {
 	// graph partitioner).
 	Partitioner string
 
-	// GatherAcc switches the acceleration kernel to the race-free
-	// gather formulation (ablation of the paper's OpenMP data
-	// dependency).
-	GatherAcc bool
+	// ScatterAcc switches the acceleration kernel from the default
+	// race-free gather back to the reference implementation's serial
+	// corner-force→node scatter (paper-fidelity ablation of the OpenMP
+	// data dependency).
+	ScatterAcc bool
 
 	// SedovEnergy overrides the Sedov blast energy when positive.
 	SedovEnergy float64
@@ -199,7 +200,7 @@ func (c *Config) applyOverrides(opt *hydro.Options) {
 	case "subzonal":
 		opt.Hourglass = hydro.HGSubzonal
 	}
-	opt.GatherAcc = c.GatherAcc
+	opt.ScatterAcc = c.ScatterAcc
 	if c.testDtMin > 0 {
 		opt.DtMin = c.testDtMin
 	}
@@ -331,6 +332,7 @@ func runSerial(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	s.Pool = par.New(cfg.Threads)
+	defer s.Pool.Close()
 
 	tEnd := p.TEnd
 	if cfg.TEnd > 0 {

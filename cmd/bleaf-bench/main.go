@@ -1,0 +1,117 @@
+// Command bleaf-bench turns `go test -bench` output into the
+// BENCH_step.json perf-trajectory record: it reads benchmark result
+// lines on stdin, aggregates repeated runs of the same benchmark
+// (-count=N) by keeping the minimum ns/op (the least-noise estimate of
+// the true cost on a time-shared machine) and the maximum allocs/op
+// (the conservative regression bound), and writes a JSON object mapping
+// benchmark name to {ns_op, allocs_op, runs}.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkLagrangianStep' -benchmem -count=5 . | bleaf-bench -o BENCH_step.json
+//
+// Names are recorded exactly as go test emits them (including any
+// GOMAXPROCS suffix): stripping the "-N" suffix would collide with
+// sub-benchmark names that legitimately end in "-N" ("threads-4") on
+// single-core machines, where go test appends no suffix at all.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// resultLine matches e.g.
+//
+//	BenchmarkLagrangianStep-8   50   2715986 ns/op   0 B/op   0 allocs/op
+//	BenchmarkStepThreads/threads-4   20   123 ns/op
+var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+// Entry is one benchmark's aggregated record.
+type Entry struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Runs     int     `json:"runs"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	entries, err := aggregate(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "bleaf-bench: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		names := make([]string, 0, len(entries))
+		for n := range entries {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			e := entries[n]
+			fmt.Printf("%-48s %14.0f ns/op %8.0f allocs/op (%d runs)\n", n, e.NsOp, e.AllocsOp, e.Runs)
+		}
+	}
+}
+
+func aggregate(sc *bufio.Scanner) (map[string]*Entry, error) {
+	entries := map[string]*Entry{}
+	for sc.Scan() {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		allocs := 0.0
+		if am := allocsField.FindStringSubmatch(m[4]); am != nil {
+			allocs, _ = strconv.ParseFloat(am[1], 64)
+		}
+		e, ok := entries[name]
+		if !ok {
+			entries[name] = &Entry{NsOp: ns, AllocsOp: allocs, Runs: 1}
+			continue
+		}
+		if ns < e.NsOp {
+			e.NsOp = ns
+		}
+		if allocs > e.AllocsOp {
+			e.AllocsOp = allocs
+		}
+		e.Runs++
+	}
+	return entries, sc.Err()
+}

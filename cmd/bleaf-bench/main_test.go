@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	in := `goos: linux
+BenchmarkLagrangianStep-8   	      50	   2715986 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLagrangianStep-8   	      50	   2600000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStepThreads/threads-4   	      20	    900000 ns/op
+BenchmarkStepThreads/threads-1   	      20	   1800000 ns/op
+PASS
+`
+	got, err := aggregate(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3: %v", len(got), got)
+	}
+	e := got["BenchmarkLagrangianStep-8"]
+	if e == nil || e.NsOp != 2600000 || e.AllocsOp != 0 || e.Runs != 2 {
+		t.Fatalf("LagrangianStep entry wrong: %+v", e)
+	}
+	// Sub-benchmarks ending in -N must stay distinct.
+	if got["BenchmarkStepThreads/threads-4"] == nil || got["BenchmarkStepThreads/threads-1"] == nil {
+		t.Fatalf("thread sub-benchmarks merged: %v", got)
+	}
+	if got["BenchmarkStepThreads/threads-4"].NsOp != 900000 {
+		t.Fatalf("threads-4 ns/op wrong: %+v", got["BenchmarkStepThreads/threads-4"])
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	got, err := aggregate(bufio.NewScanner(strings.NewReader("no benchmarks here\n")))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -11,6 +11,7 @@
 //	bookleaf -problem sod -nx 400 -ny 4 -ranks 8 -partitioner metis
 //	bookleaf -problem sod -nx 400 -ny 4 -ranks 4 -checkpoint sod.ckpt -checkpoint-every 100
 //	bookleaf -problem sod -nx 400 -ny 4 -ranks 8 -resume sod.ckpt
+//	bookleaf -problem noh -nx 120 -ny 120 -threads 4 -cpuprofile cpu.out -memprofile mem.out
 //
 // Checkpoints are partition-independent: a dump written at one rank
 // count resumes at any other. Transient failures (timestep collapse,
@@ -22,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -51,8 +54,10 @@ func run() error {
 		aleMode     = flag.String("ale", "", "ALE mode: eulerian, smoothed (default Lagrangian)")
 		aleFreq     = flag.Int("alefreq", 1, "remap every n steps")
 		hourglass   = flag.String("hourglass", "", "override: none, filter, subzonal")
-		gatherAcc   = flag.Bool("gatheracc", false, "race-free acceleration gather (ablation)")
+		scatterAcc  = flag.Bool("scatteracc", false, "reference serial acceleration scatter (paper-fidelity ablation)")
 		sedovE      = flag.Float64("sedov-energy", 0, "Sedov blast energy override")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		profileOut  = flag.String("profile", "", "write final 1-D profile CSV to this file")
 		vtkOut      = flag.String("vtk", "", "write the final state as a legacy VTK file")
 		ckpt        = flag.String("checkpoint", "", "write a restart dump to this file")
@@ -64,6 +69,32 @@ func run() error {
 		quiet       = flag.Bool("quiet", false, "suppress the kernel breakdown")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bookleaf: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bookleaf: memprofile:", err)
+			}
+		}()
+	}
 
 	var cfg bookleaf.Config
 	if *deckPath != "" {
@@ -88,7 +119,7 @@ func run() error {
 			Problem: *problem, NX: *nx, NY: *ny, TEnd: *tend, MaxSteps: *maxSteps,
 			Ranks: *ranks, Threads: *threads, Partitioner: *partitioner,
 			ALE: *aleMode, ALEFreq: *aleFreq, Hourglass: *hourglass,
-			GatherAcc: *gatherAcc, SedovEnergy: *sedovE,
+			ScatterAcc: *scatterAcc, SedovEnergy: *sedovE,
 			Checkpoint: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume,
 			RollbackEvery: *rollEvery, RetryBudget: *retryBudget,
 			HistoryEvery: *history,
@@ -241,7 +272,7 @@ func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
 		return cfg, err
 	}
 	cfg.Hourglass = d.String("hydro", "hourglass", "")
-	if cfg.GatherAcc, err = d.Bool("hydro", "gatheracc", false); err != nil {
+	if cfg.ScatterAcc, err = d.Bool("hydro", "scatteracc", false); err != nil {
 		return cfg, err
 	}
 	if cfg.SedovEnergy, err = d.Float("hydro", "sedov_energy", 0); err != nil {

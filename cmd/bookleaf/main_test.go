@@ -22,7 +22,7 @@ freq = 2
 firstorder = true
 [hydro]
 hourglass = filter
-gatheracc = yes
+scatteracc = yes
 sedov_energy = 0.5
 `)
 	if err != nil {
@@ -41,7 +41,7 @@ sedov_energy = 0.5
 	if cfg.ALE != "eulerian" || cfg.ALEFreq != 2 || !cfg.FirstOrderRemap {
 		t.Fatalf("ale section wrong: %+v", cfg)
 	}
-	if cfg.Hourglass != "filter" || !cfg.GatherAcc || cfg.SedovEnergy != 0.5 {
+	if cfg.Hourglass != "filter" || !cfg.ScatterAcc || cfg.SedovEnergy != 0.5 {
 		t.Fatalf("hydro section wrong: %+v", cfg)
 	}
 	if unused := deck.Unused(); len(unused) != 0 {

@@ -1,0 +1,114 @@
+package bookleaf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestThreadCountBitwiseDeterminism is the acceptance test for the
+// intra-rank threading substrate: the same problem run at any thread
+// count must produce bitwise-identical physics. Three design choices
+// make this hold — the balanced chunk split depends only on (n, t), the
+// acceleration gather sums each node's corner ring in the fixed
+// (element, corner) order of the reference scatter, and ReduceMin
+// combines chunk partials in chunk order with a strict < (exact min,
+// lowest-index ties). FloorEnergy is the one chunk-order-summed
+// diagnostic, so it is compared with a tolerance instead (it never
+// feeds back into the fields).
+func TestThreadCountBitwiseDeterminism(t *testing.T) {
+	cases := []Config{
+		{Problem: "noh", NX: 20, NY: 20, MaxSteps: 25},
+		{Problem: "sod", NX: 64, NY: 4, MaxSteps: 25},
+	}
+	for _, base := range cases {
+		t.Run(base.Problem, func(t *testing.T) {
+			var ref *Result
+			for _, threads := range []int{1, 2, 4, 7} {
+				cfg := base
+				cfg.Threads = threads
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("threads=%d: %v", threads, err)
+				}
+				if threads == 1 {
+					ref = res
+					continue
+				}
+				if res.Steps != ref.Steps || res.Time != ref.Time {
+					t.Fatalf("threads=%d: steps/time (%d, %v) differ from serial (%d, %v)",
+						threads, res.Steps, res.Time, ref.Steps, ref.Time)
+				}
+				for name, pair := range map[string][2][]float64{
+					"rho": {res.Rho, ref.Rho}, "ein": {res.Ein, ref.Ein},
+					"p": {res.P, ref.P},
+					"u": {res.U, ref.U}, "v": {res.V, ref.V},
+					"x": {res.X, ref.X}, "y": {res.Y, ref.Y},
+				} {
+					if i := firstDiff(pair[0], pair[1]); i >= 0 {
+						t.Errorf("threads=%d: %s[%d] = %x, serial %x",
+							threads, name, i, pair[0][i], pair[1][i])
+					}
+				}
+				if res.EFinal != ref.EFinal {
+					t.Errorf("threads=%d: EFinal %x differs from serial %x", threads, res.EFinal, ref.EFinal)
+				}
+				if d := math.Abs(res.FloorEnergy - ref.FloorEnergy); d > 1e-12*math.Max(1, math.Abs(ref.FloorEnergy)) {
+					t.Errorf("threads=%d: FloorEnergy %v vs serial %v", threads, res.FloorEnergy, ref.FloorEnergy)
+				}
+			}
+		})
+	}
+}
+
+// TestScatterAblationBitwiseMatchesGather checks that the paper-fidelity
+// serial scatter and the default parallel gather are the same
+// computation, not merely close.
+func TestScatterAblationBitwiseMatchesGather(t *testing.T) {
+	base := Config{Problem: "noh", NX: 16, NY: 16, MaxSteps: 20}
+	gather, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.ScatterAcc = true
+	scatter, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2][]float64{
+		"rho": {gather.Rho, scatter.Rho}, "u": {gather.U, scatter.U}, "v": {gather.V, scatter.V},
+	} {
+		if i := firstDiff(pair[0], pair[1]); i >= 0 {
+			t.Errorf("%s[%d]: gather %x vs scatter %x", name, i, pair[0][i], pair[1][i])
+		}
+	}
+}
+
+// firstDiff returns the first index where a and b are not bitwise
+// equal (NaN-safe), or -1. A length mismatch reports index min(len).
+func firstDiff(a, b []float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// ExampleConfig_threads documents the hybrid configuration knobs.
+func ExampleConfig_threads() {
+	res, err := Run(Config{Problem: "sod", NX: 32, NY: 4, MaxSteps: 5, Ranks: 1, Threads: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Ranks, res.Threads, res.Steps)
+	// Output: 1 4 5
+}

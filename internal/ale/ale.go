@@ -146,12 +146,6 @@ func nodeAdjacency(s *hydro.State) [][]int {
 // phases are timed under "alestep" sub-names to mirror the paper's
 // ALESTEP breakdown.
 func (r *Remapper) Apply(s *hydro.State, tm *timers.Set, hooks *Hooks) error {
-	if tm == nil {
-		tm = timers.NewSet()
-	}
-	if hooks == nil {
-		hooks = &Hooks{}
-	}
 	m := s.Mesh
 	nel, nnd := m.NEl, m.NNd
 
@@ -194,7 +188,7 @@ func (r *Remapper) Apply(s *hydro.State, tm *timers.Set, hooks *Hooks) error {
 		r.gradients(s, r.cRho, r.gradRX, r.gradRY)
 		r.gradients(s, r.cEin, r.gradEX, r.gradEY)
 	}
-	if hooks.ExchangeCellFields != nil {
+	if hooks != nil && hooks.ExchangeCellFields != nil {
 		hooks.ExchangeCellFields(r.cRho, r.cEin, r.gradRX, r.gradRY, r.gradEX, r.gradEY)
 	}
 	tm.Stop("alegetfvol")

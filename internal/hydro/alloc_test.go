@@ -1,0 +1,61 @@
+package hydro
+
+import (
+	"testing"
+
+	"bookleaf/internal/eos"
+	"bookleaf/internal/par"
+	"bookleaf/internal/timers"
+)
+
+// TestStepZeroAllocs pins the scratch-arena guarantee: after the first
+// (warm-up) step, a steady-state Lagrangian step performs zero heap
+// allocations at any thread count. Every regression here is a
+// per-step cost multiplied by the whole run, so this fails hard rather
+// than tolerating "a few".
+func TestStepZeroAllocs(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		m := boxMesh(t, 16, 16)
+		g, _ := eos.NewIdealGas(1.4)
+		opt := DefaultOptions(g)
+		rho := make([]float64, m.NEl)
+		ein := make([]float64, m.NEl)
+		for e := range rho {
+			rho[e] = 1
+			ein[e] = 0.1 + 0.001*float64(e%13)
+		}
+		s, err := NewState(m, opt, rho, ein)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Pool = par.New(threads)
+		for n := range s.U {
+			s.U[n] = -0.1 * (s.X[n] - 0.5)
+			s.V[n] = -0.1 * (s.Y[n] - 0.5)
+		}
+		tm := timers.NewSet()
+		// Warm-up: spawns pool workers, registers timer names, sizes
+		// the floor-partial scratch.
+		if _, err := s.Step(tm, nil); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := s.Step(tm, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("threads=%d: steady-state Step allocates %v per call, want 0", threads, allocs)
+		}
+		// A nil timer set must be equally allocation-free.
+		allocs = testing.AllocsPerRun(10, func() {
+			if _, err := s.Step(nil, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("threads=%d: Step with nil timers allocates %v per call, want 0", threads, allocs)
+		}
+		s.Pool.Close()
+	}
+}

@@ -28,6 +28,7 @@ func benchState(b *testing.B, n, threads int) *State {
 		b.Fatal(err)
 	}
 	s.Pool = par.New(threads)
+	b.Cleanup(s.Pool.Close)
 	// Develop a flow so kernels do real work.
 	for n := range s.U {
 		s.U[n] = -0.1 * (s.X[n] - 0.5)
@@ -68,14 +69,14 @@ func BenchmarkGetForcePerHourglass(b *testing.B) {
 }
 
 func BenchmarkGetAccScatterVsGather(b *testing.B) {
-	for _, gather := range []bool{false, true} {
-		name := "scatter"
-		if gather {
-			name = "gather"
+	for _, scatter := range []bool{true, false} {
+		name := "gather"
+		if scatter {
+			name = "scatter"
 		}
 		b.Run(name, func(b *testing.B) {
 			s := benchState(b, 64, 1)
-			s.Opt.GatherAcc = gather
+			s.Opt.ScatterAcc = scatter
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.GetAcc(1e-7)
@@ -84,10 +85,16 @@ func BenchmarkGetAccScatterVsGather(b *testing.B) {
 	}
 }
 
+// BenchmarkStepThreads measures the full Lagrangian step on a 120×120
+// Noh-like converging flow across pool widths — the intra-rank scaling
+// experiment. With the persistent pool and the gather-parallel
+// acceleration every kernel in the step threads; speedup is then bounded
+// only by the hardware (GOMAXPROCS / available cores).
 func BenchmarkStepThreads(b *testing.B) {
 	for _, threads := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
-			s := benchState(b, 96, threads)
+			s := benchState(b, 120, threads)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Step(nil, nil); err != nil {

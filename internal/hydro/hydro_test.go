@@ -331,12 +331,12 @@ func TestSymmetryPreserved(t *testing.T) {
 	}
 }
 
-func TestGatherAccMatchesScatter(t *testing.T) {
-	mk := func(gather bool) *State {
+func TestScatterAccMatchesGather(t *testing.T) {
+	mk := func(scatter bool) *State {
 		m := boxMesh(t, 5, 5)
 		g, _ := eos.NewIdealGas(1.4)
 		opt := DefaultOptions(g)
-		opt.GatherAcc = gather
+		opt.ScatterAcc = scatter
 		rho := make([]float64, m.NEl)
 		ein := make([]float64, m.NEl)
 		for e := range rho {

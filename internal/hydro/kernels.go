@@ -7,6 +7,76 @@ import (
 	"bookleaf/internal/mesh"
 )
 
+// kernelArgs is the scratch arena for the pre-bound kernel bodies: the
+// per-call arguments a body needs are written here immediately before
+// the pool dispatch that reads them, and are never read across steps.
+// Keeping arguments in State fields (instead of closure captures) is
+// what lets the bodies be created once, so steady-state steps allocate
+// nothing — see kernelBodies.
+type kernelArgs struct {
+	// lo is the element offset of the current [lo, hi) kernel call;
+	// bodies receive chunk-relative ranges and add it back.
+	lo int
+	// dt is the timestep operand of the acc/geom/ein bodies.
+	dt float64
+	// u, v are the nodal velocity operands of the force/geom/ein
+	// bodies (U0 in the predictor, UBar in the corrector).
+	u, v []float64
+	// floors holds per-chunk floor-energy partials at stride
+	// floorStride (cache-line padded); sized lazily to the pool width.
+	floors []float64
+}
+
+// floorStride pads the per-chunk floor-energy partials to a cache line
+// (8 float64s) so chunks never false-share.
+const floorStride = 8
+
+// kernelBodies holds the loop bodies dispatched to the pool. They are
+// bound to the State once in NewState: a closure passed to Pool.For
+// escapes to the heap, so creating bodies per call would allocate on
+// every kernel invocation — pre-binding plus the kernelArgs arena is
+// what makes the Lagrangian step zero-allocation at any thread count
+// (asserted by the AllocsPerRun regression tests).
+type kernelBodies struct {
+	q, force, acc      func(lo, hi int)
+	move, vol, rho, pc func(lo, hi int)
+	ein                func(chunk, lo, hi int)
+	cfl, div           func(e int) float64
+}
+
+// bindKernels creates the pre-bound kernel bodies. Called once from
+// NewState.
+func (s *State) bindKernels() {
+	s.kb.cfl = func(e int) float64 {
+		var x, y [4]float64
+		s.gatherCoords(e, &x, &y)
+		l := geom.MinLength(&x, &y)
+		sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
+		if sig2 <= 0 {
+			return math.Inf(1)
+		}
+		return s.Opt.CFL * l / math.Sqrt(sig2)
+	}
+	s.kb.div = func(e int) float64 {
+		var x, y, u, v [4]float64
+		s.gatherCoords(e, &x, &y)
+		s.gatherVel(e, s.U, s.V, &u, &v)
+		d := math.Abs(geom.Divergence(&x, &y, &u, &v))
+		if d == 0 {
+			return math.Inf(1)
+		}
+		return s.Opt.DivSafety / d
+	}
+	s.kb.q = s.qBody
+	s.kb.force = s.forceBody
+	s.kb.acc = s.accBody
+	s.kb.move = s.moveBody
+	s.kb.vol = s.volBody
+	s.kb.rho = s.rhoBody
+	s.kb.pc = s.pcBody
+	s.kb.ein = s.einBody
+}
+
 // GetDt computes the stable timestep over owned elements and the
 // element controlling it. It applies, in order: the CFL sound-speed
 // condition (with the viscosity correction 2q/rho in the signal speed),
@@ -19,27 +89,9 @@ func (s *State) GetDt() (dt float64, controller int) {
 	// CFL condition: dt_e = CFL * L / sqrt(c² + 2q/rho). Computed via
 	// an explicit parallel min-reduction — the expanded MINVAL/MINLOC
 	// loop the paper describes.
-	cflMin, cflArg := s.Pool.ReduceMin(nel, func(e int) float64 {
-		var x, y [4]float64
-		s.gatherCoords(e, &x, &y)
-		l := geom.MinLength(&x, &y)
-		sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
-		if sig2 <= 0 {
-			return math.Inf(1)
-		}
-		return s.Opt.CFL * l / math.Sqrt(sig2)
-	})
+	cflMin, cflArg := s.Pool.ReduceMin(nel, s.kb.cfl)
 	// Divergence condition: dt_e = DivSafety / |div u|.
-	divMin, divArg := s.Pool.ReduceMin(nel, func(e int) float64 {
-		var x, y, u, v [4]float64
-		s.gatherCoords(e, &x, &y)
-		s.gatherVel(e, s.U, s.V, &u, &v)
-		d := math.Abs(geom.Divergence(&x, &y, &u, &v))
-		if d == 0 {
-			return math.Inf(1)
-		}
-		return s.Opt.DivSafety / d
-	})
+	divMin, divArg := s.Pool.ReduceMin(nel, s.kb.div)
 	dt, controller = cflMin, cflArg
 	if divMin < dt {
 		dt, controller = divMin, divArg
@@ -63,79 +115,83 @@ func (s *State) GetDt() (dt float64, controller int) {
 // element it gathers two neighbour rings, takes square roots and
 // evaluates limiters.
 func (s *State) GetQ(lo, hi int) {
+	s.ka.lo = lo
+	s.Pool.For(hi-lo, s.kb.q)
+}
+
+func (s *State) qBody(plo, phi int) {
 	m := s.Mesh
 	cq1, cq2 := s.Opt.CQ1, s.Opt.CQ2
-	s.Pool.For(hi-lo, func(plo, phi int) {
-		var x, y, u, v [4]float64
-		var nu, nv [4]float64
-		for e := lo + plo; e < lo+phi; e++ {
-			s.gatherCoords(e, &x, &y)
-			s.gatherVel(e, s.U, s.V, &u, &v)
-			rho := s.Rho[e]
-			cs := math.Sqrt(s.Csq[e])
-			var qsum float64
-			for k := 0; k < 4; k++ {
-				kp := (k + 1) & 3
-				dux := u[kp] - u[k]
-				duy := v[kp] - v[k]
-				dxx := x[kp] - x[k]
-				dxy := y[kp] - y[k]
-				// Only compressive edges (shortening) contribute.
-				if dux*dxx+duy*dxy >= 0 {
-					s.QEdge[4*e+k] = 0
-					continue
-				}
-				du2 := dux*dux + duy*duy
-				if du2 == 0 {
-					s.QEdge[4*e+k] = 0
-					continue
-				}
-				du := math.Sqrt(du2)
-				// Limiter: ratios of the projections of the
-				// cross-edge velocity differences onto this edge's,
-				// from (a) the neighbour across this edge and (b)
-				// this element's own opposite edge. Smooth fields
-				// give ratios near 1 (q off); extrema give negative
-				// ratios (full q). At boundaries only the one-sided
-				// (own-edge) ratio is available — using it keeps
-				// smoothly compressing boundary cells viscosity-free
-				// (a hard zero there seeds spurious boundary jets in
-				// cold converging flow).
-				// Own opposite edge, negated for orientation.
-				ko2 := (k + 2) & 3
-				ko2p := (ko2 + 1) & 3
-				odux := -(u[ko2p] - u[ko2])
-				oduy := -(v[ko2p] - v[ko2])
-				r := (odux*dux + oduy*duy) / du2
-				if nb := m.ElEl[e][k]; nb >= 0 {
-					s.gatherVel(nb, s.U, s.V, &nu, &nv)
-					// Neighbour's matching edge: the side of nb
-					// facing e, traversed in nb's CCW order, runs
-					// opposite to ours; its opposite edge (k'+2)
-					// runs parallel to ours again after negation.
-					kk := s.sideFacing(nb, e)
-					ko := (kk + 2) & 3
-					kop := (ko + 1) & 3
-					ndux := -(nu[kop] - nu[ko])
-					nduy := -(nv[kop] - nv[ko])
-					rNb := (ndux*dux + nduy*duy) / du2
-					r = math.Min(rNb, r)
-				}
-				psi := 0.0
-				if r > 0 {
-					psi = math.Min(1, r)
-				}
-				qEdge := (1 - psi) * rho * (cq2*du2 + cq1*cs*du)
-				qsum += qEdge
-				// Damper coefficient: force = QEdge * Δu along the
-				// edge pair, i.e. an edge pressure q acting over the
-				// edge length.
-				edgeLen := math.Hypot(dxx, dxy)
-				s.QEdge[4*e+k] = qEdge * edgeLen / du
+	lo := s.ka.lo
+	var x, y, u, v [4]float64
+	var nu, nv [4]float64
+	for e := lo + plo; e < lo+phi; e++ {
+		s.gatherCoords(e, &x, &y)
+		s.gatherVel(e, s.U, s.V, &u, &v)
+		rho := s.Rho[e]
+		cs := math.Sqrt(s.Csq[e])
+		var qsum float64
+		for k := 0; k < 4; k++ {
+			kp := (k + 1) & 3
+			dux := u[kp] - u[k]
+			duy := v[kp] - v[k]
+			dxx := x[kp] - x[k]
+			dxy := y[kp] - y[k]
+			// Only compressive edges (shortening) contribute.
+			if dux*dxx+duy*dxy >= 0 {
+				s.QEdge[4*e+k] = 0
+				continue
 			}
-			s.Q[e] = 0.25 * qsum
+			du2 := dux*dux + duy*duy
+			if du2 == 0 {
+				s.QEdge[4*e+k] = 0
+				continue
+			}
+			du := math.Sqrt(du2)
+			// Limiter: ratios of the projections of the
+			// cross-edge velocity differences onto this edge's,
+			// from (a) the neighbour across this edge and (b)
+			// this element's own opposite edge. Smooth fields
+			// give ratios near 1 (q off); extrema give negative
+			// ratios (full q). At boundaries only the one-sided
+			// (own-edge) ratio is available — using it keeps
+			// smoothly compressing boundary cells viscosity-free
+			// (a hard zero there seeds spurious boundary jets in
+			// cold converging flow).
+			// Own opposite edge, negated for orientation.
+			ko2 := (k + 2) & 3
+			ko2p := (ko2 + 1) & 3
+			odux := -(u[ko2p] - u[ko2])
+			oduy := -(v[ko2p] - v[ko2])
+			r := (odux*dux + oduy*duy) / du2
+			if nb := m.ElEl[e][k]; nb >= 0 {
+				s.gatherVel(nb, s.U, s.V, &nu, &nv)
+				// Neighbour's matching edge: the side of nb
+				// facing e, traversed in nb's CCW order, runs
+				// opposite to ours; its opposite edge (k'+2)
+				// runs parallel to ours again after negation.
+				kk := s.sideFacing(nb, e)
+				ko := (kk + 2) & 3
+				kop := (ko + 1) & 3
+				ndux := -(nu[kop] - nu[ko])
+				nduy := -(nv[kop] - nv[ko])
+				rNb := (ndux*dux + nduy*duy) / du2
+				r = math.Min(rNb, r)
+			}
+			psi := 0.0
+			if r > 0 {
+				psi = math.Min(1, r)
+			}
+			qEdge := (1 - psi) * rho * (cq2*du2 + cq1*cs*du)
+			qsum += qEdge
+			// Damper coefficient: force = QEdge * Δu along the
+			// edge pair, i.e. an edge pressure q acting over the
+			// edge length.
+			edgeLen := math.Hypot(dxx, dxy)
+			s.QEdge[4*e+k] = qEdge * edgeLen / du
 		}
-	})
+		s.Q[e] = 0.25 * qsum
+	}
 }
 
 // sideFacing returns the side index of element nb that borders element e.
@@ -154,146 +210,149 @@ func (s *State) sideFacing(nb, e int) int {
 // hourglass-control force. uArr, vArr supply the velocity field the
 // hourglass terms act on.
 func (s *State) GetForce(lo, hi int, uArr, vArr []float64) {
-	s.Pool.For(hi-lo, func(plo, phi int) {
-		var x, y, u, v [4]float64
-		var ax, ay [4]float64
-		var sv [4]float64
-		for e := lo + plo; e < lo+phi; e++ {
-			s.gatherCoords(e, &x, &y)
-			geom.BasisGrad(&x, &y, &ax, &ay)
-			pq := s.P[e] + s.Q[e]
-			base := 4 * e
-			for k := 0; k < 4; k++ {
-				s.FX[base+k] = pq * ax[k]
-				s.FY[base+k] = pq * ay[k]
-			}
-			s.gatherVel(e, uArr, vArr, &u, &v)
-			if s.Opt.EdgeQForces {
-				// Ablation: apply the viscosity as equal-and-opposite
-				// dampers along each compressing edge instead of the
-				// isotropic contribution above (subtract it back).
-				for k := 0; k < 4; k++ {
-					s.FX[base+k] -= s.Q[e] * ax[k]
-					s.FY[base+k] -= s.Q[e] * ay[k]
-				}
-				for k := 0; k < 4; k++ {
-					kappa := s.QEdge[base+k]
-					if kappa == 0 {
-						continue
-					}
-					kp := (k + 1) & 3
-					fx := kappa * (u[kp] - u[k])
-					fy := kappa * (v[kp] - v[k])
-					s.FX[base+k] += fx
-					s.FY[base+k] += fy
-					s.FX[base+kp] -= fx
-					s.FY[base+kp] -= fy
-				}
-			}
-			switch s.Opt.Hourglass {
-			case HGFilter:
-				// Hancock-style viscous filter: damp the velocity
-				// component along the hourglass pattern Γ.
-				var hu, hv float64
-				for k := 0; k < 4; k++ {
-					hu += geom.HourglassVector[k] * u[k]
-					hv += geom.HourglassVector[k] * v[k]
-				}
-				hu *= 0.25
-				hv *= 0.25
-				area := s.Vol[e]
-				coef := s.Opt.HGKappa * s.Rho[e] * (math.Sqrt(s.Csq[e]) + math.Sqrt(hu*hu+hv*hv)) * math.Sqrt(area)
-				for k := 0; k < 4; k++ {
-					s.FX[base+k] -= coef * hu * geom.HourglassVector[k]
-					s.FY[base+k] -= coef * hv * geom.HourglassVector[k]
-				}
-			case HGSubzonal:
-				// Caramana sub-zonal pressures: each corner carries a
-				// pressure perturbation dp = c²·(ρ_corner - ρ) from
-				// its fixed sub-zonal mass and current sub-zone
-				// volume, and exerts dp·∇(sub-zone volume) on every
-				// node of the element — the exact force of Caramana &
-				// Shashkov's formulation, which resists hourglass and
-				// sliver distortions that leave the total element
-				// volume unchanged. Momentum conserving by
-				// construction (each ∇ sums to zero over nodes).
-				geom.SubVolumes(&x, &y, &sv)
-				cx, cy := geom.Centroid(&x, &y)
-				var mx, my [4]float64
-				for k := 0; k < 4; k++ {
-					kp := (k + 1) & 3
-					mx[k] = 0.5 * (x[k] + x[kp])
-					my[k] = 0.5 * (y[k] + y[kp])
-				}
-				// Floor crushed corners: a corner at (or through)
-				// zero volume feels the maximal restoring pressure.
-				svFloor := 0.01 * s.Vol[e]
-				// Stiffness scales with the full signal speed —
-				// including the viscous 2q/ρ term — so sub-zonal
-				// pressures keep restoring shape in cold shocked gas
-				// where the bare sound speed vanishes.
-				sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
-				for k := 0; k < 4; k++ {
-					svk := sv[k]
-					if svk < svFloor {
-						svk = svFloor
-					}
-					dp := s.Opt.HGSubMerit * sig2 * (s.CMass[base+k]/svk - s.Rho[e])
-					if dp == 0 {
-						continue
-					}
-					kp := (k + 1) & 3
-					km := (k + 3) & 3
-					ko := (k + 2) & 3
-					// Sub-zone quad: node k, edge-k midpoint,
-					// centroid, edge-(k-1) midpoint.
-					qx := [4]float64{x[k], mx[k], cx, mx[km]}
-					qy := [4]float64{y[k], my[k], cy, my[km]}
-					var bx, by [4]float64
-					geom.BasisGrad(&qx, &qy, &bx, &by)
-					// Chain rule: midpoints couple to their two edge
-					// nodes with weight 1/2, the centroid to all four
-					// with weight 1/4.
-					s.FX[base+k] += dp * (bx[0] + 0.5*(bx[1]+bx[3]) + 0.25*bx[2])
-					s.FY[base+k] += dp * (by[0] + 0.5*(by[1]+by[3]) + 0.25*by[2])
-					s.FX[base+kp] += dp * (0.5*bx[1] + 0.25*bx[2])
-					s.FY[base+kp] += dp * (0.5*by[1] + 0.25*by[2])
-					s.FX[base+km] += dp * (0.5*bx[3] + 0.25*bx[2])
-					s.FY[base+km] += dp * (0.5*by[3] + 0.25*by[2])
-					s.FX[base+ko] += dp * 0.25 * bx[2]
-					s.FY[base+ko] += dp * 0.25 * by[2]
-				}
-			}
-		}
-	})
+	s.ka.lo = lo
+	s.ka.u, s.ka.v = uArr, vArr
+	s.Pool.For(hi-lo, s.kb.force)
 }
 
-// GetAcc is the acceleration calculation: corner forces are scattered
-// to nodes, divided by nodal mass, boundary conditions applied, and
+func (s *State) forceBody(plo, phi int) {
+	lo := s.ka.lo
+	uArr, vArr := s.ka.u, s.ka.v
+	var x, y, u, v [4]float64
+	var ax, ay [4]float64
+	var sv [4]float64
+	for e := lo + plo; e < lo+phi; e++ {
+		s.gatherCoords(e, &x, &y)
+		geom.BasisGrad(&x, &y, &ax, &ay)
+		pq := s.P[e] + s.Q[e]
+		base := 4 * e
+		for k := 0; k < 4; k++ {
+			s.FX[base+k] = pq * ax[k]
+			s.FY[base+k] = pq * ay[k]
+		}
+		s.gatherVel(e, uArr, vArr, &u, &v)
+		if s.Opt.EdgeQForces {
+			// Ablation: apply the viscosity as equal-and-opposite
+			// dampers along each compressing edge instead of the
+			// isotropic contribution above (subtract it back).
+			for k := 0; k < 4; k++ {
+				s.FX[base+k] -= s.Q[e] * ax[k]
+				s.FY[base+k] -= s.Q[e] * ay[k]
+			}
+			for k := 0; k < 4; k++ {
+				kappa := s.QEdge[base+k]
+				if kappa == 0 {
+					continue
+				}
+				kp := (k + 1) & 3
+				fx := kappa * (u[kp] - u[k])
+				fy := kappa * (v[kp] - v[k])
+				s.FX[base+k] += fx
+				s.FY[base+k] += fy
+				s.FX[base+kp] -= fx
+				s.FY[base+kp] -= fy
+			}
+		}
+		switch s.Opt.Hourglass {
+		case HGFilter:
+			// Hancock-style viscous filter: damp the velocity
+			// component along the hourglass pattern Γ.
+			var hu, hv float64
+			for k := 0; k < 4; k++ {
+				hu += geom.HourglassVector[k] * u[k]
+				hv += geom.HourglassVector[k] * v[k]
+			}
+			hu *= 0.25
+			hv *= 0.25
+			area := s.Vol[e]
+			coef := s.Opt.HGKappa * s.Rho[e] * (math.Sqrt(s.Csq[e]) + math.Sqrt(hu*hu+hv*hv)) * math.Sqrt(area)
+			for k := 0; k < 4; k++ {
+				s.FX[base+k] -= coef * hu * geom.HourglassVector[k]
+				s.FY[base+k] -= coef * hv * geom.HourglassVector[k]
+			}
+		case HGSubzonal:
+			// Caramana sub-zonal pressures: each corner carries a
+			// pressure perturbation dp = c²·(ρ_corner - ρ) from
+			// its fixed sub-zonal mass and current sub-zone
+			// volume, and exerts dp·∇(sub-zone volume) on every
+			// node of the element — the exact force of Caramana &
+			// Shashkov's formulation, which resists hourglass and
+			// sliver distortions that leave the total element
+			// volume unchanged. Momentum conserving by
+			// construction (each ∇ sums to zero over nodes).
+			geom.SubVolumes(&x, &y, &sv)
+			cx, cy := geom.Centroid(&x, &y)
+			var mx, my [4]float64
+			for k := 0; k < 4; k++ {
+				kp := (k + 1) & 3
+				mx[k] = 0.5 * (x[k] + x[kp])
+				my[k] = 0.5 * (y[k] + y[kp])
+			}
+			// Floor crushed corners: a corner at (or through)
+			// zero volume feels the maximal restoring pressure.
+			svFloor := 0.01 * s.Vol[e]
+			// Stiffness scales with the full signal speed —
+			// including the viscous 2q/ρ term — so sub-zonal
+			// pressures keep restoring shape in cold shocked gas
+			// where the bare sound speed vanishes.
+			sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
+			for k := 0; k < 4; k++ {
+				svk := sv[k]
+				if svk < svFloor {
+					svk = svFloor
+				}
+				dp := s.Opt.HGSubMerit * sig2 * (s.CMass[base+k]/svk - s.Rho[e])
+				if dp == 0 {
+					continue
+				}
+				kp := (k + 1) & 3
+				km := (k + 3) & 3
+				ko := (k + 2) & 3
+				// Sub-zone quad: node k, edge-k midpoint,
+				// centroid, edge-(k-1) midpoint.
+				qx := [4]float64{x[k], mx[k], cx, mx[km]}
+				qy := [4]float64{y[k], my[k], cy, my[km]}
+				var bx, by [4]float64
+				geom.BasisGrad(&qx, &qy, &bx, &by)
+				// Chain rule: midpoints couple to their two edge
+				// nodes with weight 1/2, the centroid to all four
+				// with weight 1/4.
+				s.FX[base+k] += dp * (bx[0] + 0.5*(bx[1]+bx[3]) + 0.25*bx[2])
+				s.FY[base+k] += dp * (by[0] + 0.5*(by[1]+by[3]) + 0.25*by[2])
+				s.FX[base+kp] += dp * (0.5*bx[1] + 0.25*bx[2])
+				s.FY[base+kp] += dp * (0.5*by[1] + 0.25*by[2])
+				s.FX[base+km] += dp * (0.5*bx[3] + 0.25*bx[2])
+				s.FY[base+km] += dp * (0.5*by[3] + 0.25*by[2])
+				s.FX[base+ko] += dp * 0.25 * bx[2]
+				s.FY[base+ko] += dp * 0.25 * by[2]
+			}
+		}
+	}
+}
+
+// GetAcc is the acceleration calculation: corner forces are summed to
+// nodes, divided by nodal mass, boundary conditions applied, and
 // velocities advanced by dt; UBar receives the time-centred velocity.
 //
-// The scatter phase reproduces the reference implementation's data
-// dependency: multiple elements update the same node, so with
-// Options.GatherAcc false it always runs on one thread regardless of
-// the pool ("it has currently been left unchanged, adversely affecting
-// OpenMP performance" — the paper). GatherAcc true switches to the
-// race-free per-node gather for the ablation study.
+// The default formulation is a parallel gather: every node sums its
+// incident corner forces through the node→corner CSR transpose
+// (Mesh.NdCorner), so nodes are independent and the loop threads with
+// no data dependency. Because each node's ring ascends in (element,
+// corner) order — the exact order the reference element-ordered
+// scatter adds contributions — the sums are bitwise-identical to the
+// scatter at any thread count.
+//
+// Options.ScatterAcc restores the reference implementation's
+// corner-force→node scatter, whose multiple-elements-per-node data
+// dependency forces it onto one thread regardless of the pool ("it has
+// currently been left unchanged, adversely affecting OpenMP
+// performance" — the paper). It exists as the paper-fidelity ablation.
 func (s *State) GetAcc(dt float64) {
 	m := s.Mesh
 	nnd := m.NOwnNd
-	if s.Opt.GatherAcc {
-		// Race-free formulation: each node gathers from its CSR ring.
-		s.Pool.For(nnd, func(lo, hi int) {
-			for n := lo; n < hi; n++ {
-				var fx, fy float64
-				els, corners := m.ElementsAround(n)
-				for i, e := range els {
-					fx += s.FX[4*e+corners[i]]
-					fy += s.FY[4*e+corners[i]]
-				}
-				s.applyAccel(n, fx, fy, dt)
-			}
-		})
+	if !s.Opt.ScatterAcc {
+		s.ka.dt = dt
+		s.Pool.For(nnd, s.kb.acc)
 		return
 	}
 	// Reference scatter formulation over all local elements (ghost
@@ -318,6 +377,20 @@ func (s *State) GetAcc(dt float64) {
 			s.applyAccel(n, fxn[n], fyn[n], dt)
 		}
 	})
+}
+
+func (s *State) accBody(lo, hi int) {
+	m := s.Mesh
+	dt := s.ka.dt
+	start, slots := m.NdElStart, m.NdCorner
+	for n := lo; n < hi; n++ {
+		var fx, fy float64
+		for _, ci := range slots[start[n]:start[n+1]] {
+			fx += s.FX[ci]
+			fy += s.FY[ci]
+		}
+		s.applyAccel(n, fx, fy, dt)
+	}
 }
 
 // applyAccel advances node n by force (fx, fy) over dt with boundary
@@ -364,39 +437,51 @@ func (s *State) applyAccel(n int, fx, fy, dt float64) {
 // GetGeom moves nodes [0, nnd) to x0 + dt*u and recomputes the volumes
 // of elements [lo, hi), returning an ErrTangled if any element inverts.
 func (s *State) GetGeom(dt float64, uArr, vArr []float64, lo, hi int) error {
-	nnd := s.Mesh.NNd
-	s.Pool.For(nnd, func(plo, phi int) {
-		for n := plo; n < phi; n++ {
-			s.X[n] = s.X0[n] + dt*uArr[n]
-			s.Y[n] = s.Y0[n] + dt*vArr[n]
-		}
-	})
-	var firstErr error
-	s.Pool.For(hi-lo, func(plo, phi int) {
-		var x, y [4]float64
-		for e := lo + plo; e < lo+phi; e++ {
-			s.gatherCoords(e, &x, &y)
-			v := geom.Area(&x, &y)
-			s.Vol[e] = v
-		}
-	})
+	s.ka.dt = dt
+	s.ka.u, s.ka.v = uArr, vArr
+	s.Pool.For(s.Mesh.NNd, s.kb.move)
+	s.ka.lo = lo
+	s.Pool.For(hi-lo, s.kb.vol)
+	// Serial scan so the first (lowest-index) tangled element is
+	// reported deterministically.
 	for e := lo; e < hi; e++ {
 		if s.Vol[e] <= 0 {
-			firstErr = &ErrTangled{Element: e, Volume: s.Vol[e]}
-			break
+			return &ErrTangled{Element: e, Volume: s.Vol[e]}
 		}
 	}
-	return firstErr
+	return nil
+}
+
+func (s *State) moveBody(plo, phi int) {
+	dt := s.ka.dt
+	uArr, vArr := s.ka.u, s.ka.v
+	for n := plo; n < phi; n++ {
+		s.X[n] = s.X0[n] + dt*uArr[n]
+		s.Y[n] = s.Y0[n] + dt*vArr[n]
+	}
+}
+
+func (s *State) volBody(plo, phi int) {
+	lo := s.ka.lo
+	var x, y [4]float64
+	for e := lo + plo; e < lo+phi; e++ {
+		s.gatherCoords(e, &x, &y)
+		s.Vol[e] = geom.Area(&x, &y)
+	}
 }
 
 // GetRho recomputes density of elements [lo, hi) from fixed mass and
 // current volume — exact mass conservation by construction.
 func (s *State) GetRho(lo, hi int) {
-	s.Pool.For(hi-lo, func(plo, phi int) {
-		for e := lo + plo; e < lo+phi; e++ {
-			s.Rho[e] = s.Mass[e] / s.Vol[e]
-		}
-	})
+	s.ka.lo = lo
+	s.Pool.For(hi-lo, s.kb.rho)
+}
+
+func (s *State) rhoBody(plo, phi int) {
+	lo := s.ka.lo
+	for e := lo + plo; e < lo+phi; e++ {
+		s.Rho[e] = s.Mass[e] / s.Vol[e]
+	}
 }
 
 // GetEin performs the compatible internal-energy update for elements
@@ -410,49 +495,70 @@ func (s *State) GetRho(lo, hi int) {
 // implodes it (tested failure mode on Noh). The energy the floor adds
 // is returned; the step driver accumulates the corrector's (full-step)
 // amount into FloorEnergy so conservation audits stay closed — it is
-// identically zero on well-resolved problems.
+// identically zero on well-resolved problems. (Per-chunk partials are
+// combined in chunk order, so on the rare runs where the floor fires
+// the returned total — a diagnostic, never a field — can differ in the
+// last bit across thread counts; the evolved fields themselves stay
+// bitwise-identical because the flooring decision is per-element.)
 func (s *State) GetEin(dt float64, uArr, vArr []float64, lo, hi int) float64 {
-	m := s.Mesh
-	mats := s.Opt.Materials
-	floors := make([]float64, s.Pool.NumChunks(hi-lo))
-	s.Pool.ForChunks(hi-lo, func(chunk, plo, phi int) {
-		var added float64
-		for e := lo + plo; e < lo+phi; e++ {
-			nd := &m.ElNd[e]
-			base := 4 * e
-			var w float64
-			for k := 0; k < 4; k++ {
-				w += s.FX[base+k]*uArr[nd[k]] + s.FY[base+k]*vArr[nd[k]]
-			}
-			ein := s.Ein0[e] - dt*w/s.Mass[e]
-			// Floor only energy-dependent materials: for barotropic
-			// forms (Tait, void) a negative tracked energy is elastic
-			// bookkeeping, not a pressure pathology.
-			if ein < 0 && mats[m.Region[e]].EnergyDependent() {
-				added += -ein * s.Mass[e]
-				ein = 0
-			}
-			s.Ein[e] = ein
-		}
-		floors[chunk] = added
-	})
+	t := s.Pool.NumChunks(hi - lo)
+	if t < 1 {
+		return 0
+	}
+	if cap(s.ka.floors) < floorStride*t {
+		s.ka.floors = make([]float64, floorStride*t)
+	}
+	s.ka.floors = s.ka.floors[:floorStride*t]
+	s.ka.lo, s.ka.dt = lo, dt
+	s.ka.u, s.ka.v = uArr, vArr
+	s.Pool.ForChunks(hi-lo, s.kb.ein)
 	var total float64
-	for _, a := range floors {
-		total += a
+	for c := 0; c < t; c++ {
+		total += s.ka.floors[floorStride*c]
 	}
 	return total
+}
+
+func (s *State) einBody(chunk, plo, phi int) {
+	m := s.Mesh
+	mats := s.Opt.Materials
+	lo, dt := s.ka.lo, s.ka.dt
+	uArr, vArr := s.ka.u, s.ka.v
+	var added float64
+	for e := lo + plo; e < lo+phi; e++ {
+		nd := &m.ElNd[e]
+		base := 4 * e
+		var w float64
+		for k := 0; k < 4; k++ {
+			w += s.FX[base+k]*uArr[nd[k]] + s.FY[base+k]*vArr[nd[k]]
+		}
+		ein := s.Ein0[e] - dt*w/s.Mass[e]
+		// Floor only energy-dependent materials: for barotropic
+		// forms (Tait, void) a negative tracked energy is elastic
+		// bookkeeping, not a pressure pathology.
+		if ein < 0 && mats[m.Region[e]].EnergyDependent() {
+			added += -ein * s.Mass[e]
+			ein = 0
+		}
+		s.Ein[e] = ein
+	}
+	s.ka.floors[floorStride*chunk] = added
 }
 
 // GetPC evaluates the equation of state of elements [lo, hi): pressure
 // and squared sound speed from density and internal energy.
 func (s *State) GetPC(lo, hi int) {
+	s.ka.lo = lo
+	s.Pool.For(hi-lo, s.kb.pc)
+}
+
+func (s *State) pcBody(plo, phi int) {
 	mats := s.Opt.Materials
 	reg := s.Mesh.Region
-	s.Pool.For(hi-lo, func(plo, phi int) {
-		for e := lo + plo; e < lo+phi; e++ {
-			mat := mats[reg[e]]
-			s.P[e] = mat.Pressure(s.Rho[e], s.Ein[e])
-			s.Csq[e] = mat.SoundSpeed2(s.Rho[e], s.Ein[e])
-		}
-	})
+	lo := s.ka.lo
+	for e := lo + plo; e < lo+phi; e++ {
+		mat := mats[reg[e]]
+		s.P[e] = mat.Pressure(s.Rho[e], s.Ein[e])
+		s.Csq[e] = mat.SoundSpeed2(s.Rho[e], s.Ein[e])
+	}
 }

@@ -62,11 +62,13 @@ type Options struct {
 	// Materials maps region index to equation of state.
 	Materials []eos.Material
 
-	// GatherAcc switches the acceleration kernel from the reference
-	// scatter formulation (with its serialising data dependency, as in
-	// the paper) to a race-free node-gather formulation — an ablation
-	// of the OpenMP issue discussed in the paper.
-	GatherAcc bool
+	// ScatterAcc switches the acceleration kernel from the default
+	// race-free node-gather formulation (bitwise-identical to the
+	// scatter, parallel at any thread count) back to the reference
+	// implementation's corner-force→node scatter, whose data dependency
+	// serialises it — the OpenMP limitation discussed in the paper,
+	// kept as a paper-fidelity ablation.
+	ScatterAcc bool
 
 	// EdgeQForces applies the artificial viscosity as equal-and-
 	// opposite dampers along each compressing edge instead of an

@@ -91,6 +91,12 @@ type State struct {
 	Time, DtPrev float64
 	// StepCount is the number of completed Lagrangian steps.
 	StepCount int
+
+	// ka and kb are the kernel scratch arena and the pre-bound loop
+	// bodies (see kernels.go); together they make the steady-state step
+	// allocation-free.
+	ka kernelArgs
+	kb kernelBodies
 }
 
 // NewState allocates a State over m with initial per-element density
@@ -173,6 +179,7 @@ func NewState(m *mesh.Mesh, opt Options, rho, ein []float64) (*State, error) {
 			s.NdMass[m.ElNd[e][k]] += s.CMass[4*e+k]
 		}
 	}
+	s.bindKernels()
 	s.GetPC(0, nel)
 	return s, nil
 }

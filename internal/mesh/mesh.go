@@ -63,6 +63,15 @@ type Mesh struct {
 	NdElStart  []int
 	NdElList   []int
 	NdElCorner []int
+	// NdCorner aligns with NdElList: entry i is the flat corner-slot
+	// index 4*NdElList[i] + NdElCorner[i], i.e. the node→corner CSR
+	// transpose of ElNd. The acceleration gather sums a node's incident
+	// corner forces with one indexed read per corner through this
+	// array. Entries for a node ascend in (element, corner) order —
+	// the same order an element-ordered scatter would accumulate them —
+	// so gather sums are bitwise-identical to the reference scatter at
+	// any thread count.
+	NdCorner []int
 
 	// X, Y are node coordinates.
 	X, Y []float64
@@ -141,6 +150,7 @@ func (m *Mesh) BuildConnectivity() {
 	total := counts[m.NNd]
 	m.NdElList = make([]int, total)
 	m.NdElCorner = make([]int, total)
+	m.NdCorner = make([]int, total)
 	fill := make([]int, m.NNd)
 	for e := range m.ElNd {
 		for k := 0; k < 4; k++ {
@@ -148,6 +158,7 @@ func (m *Mesh) BuildConnectivity() {
 			idx := m.NdElStart[n] + fill[n]
 			m.NdElList[idx] = e
 			m.NdElCorner[idx] = k
+			m.NdCorner[idx] = 4*e + k
 			fill[n]++
 		}
 	}
@@ -226,11 +237,21 @@ func (m *Mesh) Check() error {
 			}
 		}
 	}
+	if len(m.NdCorner) != len(m.NdElList) {
+		return fmt.Errorf("mesh: NdCorner sized %d, NdElList %d", len(m.NdCorner), len(m.NdElList))
+	}
 	for n := 0; n < m.NNd; n++ {
 		els, corners := m.ElementsAround(n)
+		lo := m.NdElStart[n]
 		for i, e := range els {
 			if m.ElNd[e][corners[i]] != n {
 				return fmt.Errorf("mesh: node %d CSR entry (el %d corner %d) inconsistent", n, e, corners[i])
+			}
+			if m.NdCorner[lo+i] != 4*e+corners[i] {
+				return fmt.Errorf("mesh: node %d corner-slot entry %d = %d, want %d", n, i, m.NdCorner[lo+i], 4*e+corners[i])
+			}
+			if i > 0 && m.NdCorner[lo+i] <= m.NdCorner[lo+i-1] {
+				return fmt.Errorf("mesh: node %d corner slots not ascending", n)
 			}
 		}
 	}
@@ -385,6 +406,7 @@ func (m *Mesh) Clone() *Mesh {
 	c.NdElStart = append([]int(nil), m.NdElStart...)
 	c.NdElList = append([]int(nil), m.NdElList...)
 	c.NdElCorner = append([]int(nil), m.NdElCorner...)
+	c.NdCorner = append([]int(nil), m.NdCorner...)
 	c.X = append([]float64(nil), m.X...)
 	c.Y = append([]float64(nil), m.Y...)
 	c.Region = append([]int(nil), m.Region...)

@@ -267,3 +267,48 @@ func TestMinNodeSpacing(t *testing.T) {
 		t.Fatalf("min spacing = %v, want 0.25", s)
 	}
 }
+
+// TestNdCornerTransposeRoundTrip is the property test for the
+// node→corner CSR transpose: scattering each corner slot 4*e+k to node
+// ElNd[e][k] and gathering each node's NdCorner ring must visit exactly
+// the same corner set, and each ring must ascend in (element, corner)
+// order — the invariant that makes the gather-formulated acceleration
+// bitwise-identical to the element-ordered scatter.
+func TestNdCornerTransposeRoundTrip(t *testing.T) {
+	prop := func(nxRaw, nyRaw uint8) bool {
+		nx := int(nxRaw%12) + 1
+		ny := int(nyRaw%12) + 1
+		m := mustRect(t, nx, ny)
+		if len(m.NdCorner) != 4*m.NEl {
+			return false
+		}
+		// Gather side: every ring entry names a corner of an element
+		// that really touches the node, ascending.
+		seen := make([]bool, 4*m.NEl)
+		for n := 0; n < m.NNd; n++ {
+			prev := -1
+			for _, ci := range m.NdCorner[m.NdElStart[n]:m.NdElStart[n+1]] {
+				if ci <= prev { // ascending ⇒ also no duplicates
+					return false
+				}
+				prev = ci
+				e, k := ci/4, ci%4
+				if m.ElNd[e][k] != n {
+					return false
+				}
+				seen[ci] = true
+			}
+		}
+		// Scatter side: every corner slot was gathered by exactly one node.
+		for ci, ok := range seen {
+			if !ok {
+				t.Logf("corner slot %d missing from every ring", ci)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

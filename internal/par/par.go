@@ -1,20 +1,41 @@
 // Package par is BookLeaf's intra-rank threading substrate, standing in
 // for the OpenMP host parallelism of the reference implementation. A
 // Pool models one "NUMA region" worth of threads; For splits an index
-// range into contiguous chunks (the static schedule OpenMP would use)
-// and ReduceMin/ReduceSum provide the explicit loop reductions the
-// paper's authors had to write by hand after the Fortran workshare
-// directive proved to serialise MINVAL/MINLOC.
+// range into balanced contiguous chunks (the static schedule OpenMP
+// would use) and ReduceMin/ReduceSum provide the explicit loop
+// reductions the paper's authors had to write by hand after the Fortran
+// workshare directive proved to serialise MINVAL/MINLOC.
+//
+// Workers are persistent: they are spawned once, on the first parallel
+// dispatch, and then park on per-worker wake channels for the life of
+// the pool, so a parallel region costs two channel operations per
+// worker instead of a goroutine spawn per loop. Reduction partials land
+// in cache-line-padded slots owned by the pool, so chunks never
+// false-share and no per-call slice is allocated. A For/ForChunks/
+// Reduce* call with a pre-bound body therefore performs zero heap
+// allocations — the property the hydro kernels build their
+// zero-allocation steady state on.
 //
 // A Pool with Threads <= 1 executes everything inline with zero
 // goroutine overhead; this is the "flat MPI" configuration where each
 // rank is single-threaded. The hybrid configuration uses Threads > 1.
 //
+// Chunking guarantee: an n-iteration loop over t threads is split into
+// contiguous ascending chunks whose sizes differ by at most one — the
+// first n%t chunks carry ceil(n/t) iterations, the remainder floor(n/t).
+// The split depends only on (n, t), never on scheduling, which is what
+// makes per-chunk reductions reproducible run to run.
+//
+// Pools are NOT safe for concurrent dispatch: one goroutine (the rank)
+// owns the pool and issues one parallel region at a time, exactly like
+// an OpenMP thread team. Call Close when the rank retires to unpark the
+// workers; a closed pool degrades to inline serial execution.
+//
 // The acceleration kernel in BookLeaf contains a corner-force→node
 // scatter data dependency that the paper left unparallelised ("it has
 // currently been left unchanged, adversely affecting OpenMP
-// performance"). Serial reproduces that choice: it always runs on the
-// calling goroutine, whatever the pool size.
+// performance"). Serial reproduces that choice for the ablation path:
+// it always runs on the calling goroutine, whatever the pool size.
 package par
 
 import (
@@ -22,18 +43,56 @@ import (
 	"sync"
 )
 
+// minSlot is a per-chunk MINLOC partial, padded to a cache line so
+// neighbouring chunks never false-share during a reduction.
+type minSlot struct {
+	v   float64
+	arg int
+	_   [48]byte
+}
+
+// sumSlot is a per-chunk sum partial, padded to a cache line.
+type sumSlot struct {
+	v float64
+	_ [56]byte
+}
+
 // Pool executes loops across a fixed number of logical threads.
 // The zero value is a serial pool.
 type Pool struct {
 	// Threads is the number of chunks loops are split into. Values
-	// below 2 mean fully inline serial execution.
+	// below 2 mean fully inline serial execution. Treat as read-only
+	// once the pool has executed a parallel region.
 	Threads int
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	closed    bool
+	wake      []chan struct{} // one per worker; worker w serves chunk w+1
+	done      chan struct{}
+
+	// Current parallel region, armed by the dispatcher before the wake
+	// sends (which publish it to the workers). Exactly one of bodyR /
+	// bodyC is non-nil during a region.
+	n, nch int
+	bodyR  func(lo, hi int)
+	bodyC  func(chunk, lo, hi int)
+
+	// Reduction state: redF is the operand, the slots hold padded
+	// per-chunk partials, and minBody/sumBody are the chunk bodies
+	// pre-bound at startup so reductions allocate nothing per call.
+	redF             func(i int) float64
+	minSlots         []minSlot
+	sumSlots         []sumSlot
+	minBody, sumBody func(chunk, lo, hi int)
 }
 
 // Serial is the single-threaded pool used by flat-MPI ranks.
 var Serial = &Pool{Threads: 1}
 
-// New returns a pool with n threads (minimum 1).
+// New returns a pool with n threads (minimum 1). Workers are spawned
+// lazily on the first parallel dispatch, so a pool that only ever runs
+// serial-sized loops costs nothing.
 func New(n int) *Pool {
 	if n < 1 {
 		n = 1
@@ -56,6 +115,98 @@ func (p *Pool) chunks(n int) int {
 	return t
 }
 
+// chunkRange returns chunk c of an n-iteration loop split into t
+// balanced contiguous chunks: the first n%t chunks carry one extra
+// iteration, so sizes differ by at most one and chunk c covers
+// [lo, hi) with hi(c) == lo(c+1).
+func chunkRange(n, t, c int) (lo, hi int) {
+	q, r := n/t, n%t
+	if c < r {
+		lo = c * (q + 1)
+		return lo, lo + q + 1
+	}
+	lo = r*(q+1) + (c-r)*q
+	return lo, lo + q
+}
+
+// ensureStarted spawns the persistent workers and pre-binds the
+// reduction bodies. Called on the first parallel dispatch.
+func (p *Pool) ensureStarted() {
+	p.startOnce.Do(func() {
+		t := p.Threads
+		p.wake = make([]chan struct{}, t-1)
+		p.done = make(chan struct{}, t-1)
+		p.minSlots = make([]minSlot, t)
+		p.sumSlots = make([]sumSlot, t)
+		p.minBody = func(c, lo, hi int) {
+			v, a := reduceMinRange(lo, hi, p.redF)
+			p.minSlots[c].v, p.minSlots[c].arg = v, a
+		}
+		p.sumBody = func(c, lo, hi int) {
+			var s float64
+			f := p.redF
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			p.sumSlots[c].v = s
+		}
+		for w := 0; w < t-1; w++ {
+			p.wake[w] = make(chan struct{}, 1)
+			go p.worker(w)
+		}
+	})
+}
+
+// worker parks on its wake channel for the life of the pool; each wake
+// runs the armed body over the worker's static chunk (worker w always
+// serves chunk w+1 — the dispatching goroutine is thread 0).
+func (p *Pool) worker(w int) {
+	for range p.wake[w] {
+		c := w + 1
+		lo, hi := chunkRange(p.n, p.nch, c)
+		if body := p.bodyR; body != nil {
+			body(lo, hi)
+		} else {
+			p.bodyC(c, lo, hi)
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// run dispatches the armed body across t chunks of [0, n): workers
+// 0..t-2 are woken for chunks 1..t-1 while the calling goroutine runs
+// chunk 0, then the call blocks until every chunk completes. The wake
+// sends publish the armed region to the workers; the done receives
+// publish the workers' writes back to the caller.
+func (p *Pool) run(n, t int) {
+	p.ensureStarted()
+	p.n, p.nch = n, t
+	for w := 0; w < t-1; w++ {
+		p.wake[w] <- struct{}{}
+	}
+	lo, hi := chunkRange(n, t, 0)
+	if body := p.bodyR; body != nil {
+		body(lo, hi)
+	} else {
+		p.bodyC(0, lo, hi)
+	}
+	for w := 0; w < t-1; w++ {
+		<-p.done
+	}
+}
+
+// Close unparks and retires the persistent workers. Subsequent calls
+// on the pool execute inline serially; Close is idempotent and must
+// not race an in-flight parallel region.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.closed = true
+		for _, ch := range p.wake {
+			close(ch)
+		}
+	})
+}
+
 // For executes body(lo, hi) over disjoint contiguous subranges covering
 // [0, n). With a serial pool the body runs once inline as body(0, n).
 func (p *Pool) For(n int, body func(lo, hi int)) {
@@ -63,21 +214,13 @@ func (p *Pool) For(n int, body func(lo, hi int)) {
 		return
 	}
 	t := p.chunks(n)
-	if t == 1 {
+	if t == 1 || p.closed {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(t)
-	for c := 0; c < t; c++ {
-		lo := c * n / t
-		hi := (c + 1) * n / t
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	p.bodyR, p.bodyC = body, nil
+	p.run(n, t)
+	p.bodyR = nil
 }
 
 // NumChunks reports how many chunks For and ForChunks split an
@@ -96,21 +239,13 @@ func (p *Pool) ForChunks(n int, body func(chunk, lo, hi int)) {
 		return
 	}
 	t := p.chunks(n)
-	if t == 1 {
+	if t == 1 || p.closed {
 		body(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(t)
-	for c := 0; c < t; c++ {
-		lo := c * n / t
-		hi := (c + 1) * n / t
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			body(c, lo, hi)
-		}(c, lo, hi)
-	}
-	wg.Wait()
+	p.bodyR, p.bodyC = nil, body
+	p.run(n, t)
+	p.bodyC = nil
 }
 
 // Serial executes body(0, n) on the calling goroutine regardless of the
@@ -123,33 +258,26 @@ func (p *Pool) Serial(n int, body func(lo, hi int)) {
 }
 
 // ReduceMin computes the minimum of f(i) for i in [0, n) together with
-// the index attaining it (the MINVAL/MINLOC expansion). Ties resolve to
-// the lowest index so results are deterministic across pool sizes.
+// the index attaining it (the MINVAL/MINLOC expansion). Partials are
+// combined in chunk order and ties resolve to the lowest index, so the
+// result is bitwise-deterministic across pool sizes.
 func (p *Pool) ReduceMin(n int, f func(i int) float64) (min float64, argmin int) {
 	if n <= 0 {
 		return math.Inf(1), -1
 	}
 	t := p.chunks(n)
-	if t == 1 {
+	if t == 1 || p.closed {
 		return reduceMinRange(0, n, f)
 	}
-	mins := make([]float64, t)
-	args := make([]int, t)
-	var wg sync.WaitGroup
-	wg.Add(t)
-	for c := 0; c < t; c++ {
-		lo := c * n / t
-		hi := (c + 1) * n / t
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			mins[c], args[c] = reduceMinRange(lo, hi, f)
-		}(c, lo, hi)
-	}
-	wg.Wait()
-	min, argmin = mins[0], args[0]
+	p.ensureStarted()
+	p.redF = f
+	p.bodyR, p.bodyC = nil, p.minBody
+	p.run(n, t)
+	p.bodyC, p.redF = nil, nil
+	min, argmin = p.minSlots[0].v, p.minSlots[0].arg
 	for c := 1; c < t; c++ {
-		if mins[c] < min {
-			min, argmin = mins[c], args[c]
+		if p.minSlots[c].v < min {
+			min, argmin = p.minSlots[c].v, p.minSlots[c].arg
 		}
 	}
 	return min, argmin
@@ -166,39 +294,28 @@ func reduceMinRange(lo, hi int, f func(i int) float64) (float64, int) {
 }
 
 // ReduceSum computes the sum of f(i) for i in [0, n). Each chunk sums
-// locally and the partials are combined in chunk order, so the result is
-// deterministic for a fixed pool size.
+// locally into a padded slot and the partials are combined in chunk
+// order, so the result is deterministic for a fixed pool size.
 func (p *Pool) ReduceSum(n int, f func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
 	t := p.chunks(n)
-	if t == 1 {
+	if t == 1 || p.closed {
 		var s float64
 		for i := 0; i < n; i++ {
 			s += f(i)
 		}
 		return s
 	}
-	parts := make([]float64, t)
-	var wg sync.WaitGroup
-	wg.Add(t)
-	for c := 0; c < t; c++ {
-		lo := c * n / t
-		hi := (c + 1) * n / t
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += f(i)
-			}
-			parts[c] = s
-		}(c, lo, hi)
-	}
-	wg.Wait()
+	p.ensureStarted()
+	p.redF = f
+	p.bodyR, p.bodyC = nil, p.sumBody
+	p.run(n, t)
+	p.bodyC, p.redF = nil, nil
 	var s float64
-	for _, v := range parts {
-		s += v
+	for c := 0; c < t; c++ {
+		s += p.sumSlots[c].v
 	}
 	return s
 }

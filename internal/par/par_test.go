@@ -2,6 +2,8 @@ package par
 
 import (
 	"math"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -118,5 +120,162 @@ func TestReduceMinPropertyAgainstSerial(t *testing.T) {
 func TestNewClampsToOne(t *testing.T) {
 	if New(-5).Threads != 1 {
 		t.Fatal("New(-5) should clamp to 1 thread")
+	}
+}
+
+func TestChunkRangeBalanced(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{
+		{10, 3}, {7, 7}, {100, 16}, {5, 2}, {1, 1}, {13, 4},
+	} {
+		q, r := tc.n/tc.t, tc.n%tc.t
+		prevHi := 0
+		for c := 0; c < tc.t; c++ {
+			lo, hi := chunkRange(tc.n, tc.t, c)
+			if lo != prevHi {
+				t.Fatalf("n=%d t=%d: chunk %d starts at %d, want %d", tc.n, tc.t, c, lo, prevHi)
+			}
+			size := hi - lo
+			want := q
+			if c < r {
+				want = q + 1
+			}
+			if size != want {
+				t.Fatalf("n=%d t=%d: chunk %d has %d iterations, want %d", tc.n, tc.t, c, size, want)
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("n=%d t=%d: chunks end at %d", tc.n, tc.t, prevHi)
+		}
+	}
+}
+
+func TestChunkRangePropertyContiguousCover(t *testing.T) {
+	f := func(nRaw, tRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		tt := int(tRaw%64) + 1
+		if tt > n {
+			tt = n
+		}
+		prevHi := 0
+		maxSize, minSize := 0, n+1
+		for c := 0; c < tt; c++ {
+			lo, hi := chunkRange(n, tt, c)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			if hi-lo > maxSize {
+				maxSize = hi - lo
+			}
+			if hi-lo < minSize {
+				minSize = hi - lo
+			}
+			prevHi = hi
+		}
+		return prevHi == n && maxSize-minSize <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersPersistAcrossRegions checks the tentpole property of the
+// pool: the worker goroutines are spawned once and reused, not
+// re-spawned per parallel region.
+func TestWorkersPersistAcrossRegions(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	body := func(lo, hi int) {}
+	p.For(100, body) // spawn workers
+	base := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		p.For(100, body)
+		p.ForChunks(100, func(c, lo, hi int) {})
+		p.ReduceSum(100, func(i int) float64 { return 1 })
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutine count grew from %d to %d across 600 regions", base, got)
+	}
+}
+
+func TestCloseDegradesToInline(t *testing.T) {
+	p := New(4)
+	p.For(64, func(lo, hi int) {}) // start workers
+	p.Close()
+	p.Close() // idempotent
+	calls := 0
+	p.For(64, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 64 {
+			t.Fatalf("closed pool ran chunk [%d,%d), want [0,64)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("closed pool ran body %d times, want 1 inline call", calls)
+	}
+	if v, i := p.ReduceMin(3, func(i int) float64 { return float64(i) }); v != 0 || i != 0 {
+		t.Fatalf("closed ReduceMin = (%v,%d), want (0,0)", v, i)
+	}
+	if s := p.ReduceSum(4, func(i int) float64 { return 1 }); s != 4 {
+		t.Fatalf("closed ReduceSum = %v, want 4", s)
+	}
+	p.ForChunks(8, func(c, lo, hi int) {
+		if c != 0 || lo != 0 || hi != 8 {
+			t.Fatalf("closed ForChunks chunk (%d,[%d,%d)), want (0,[0,8))", c, lo, hi)
+		}
+	})
+}
+
+func TestCloseUnstartedPool(t *testing.T) {
+	p := New(8)
+	p.Close() // never dispatched: must not panic
+	p.For(10, func(lo, hi int) {})
+}
+
+func TestForChunksIndicesMatchChunkRange(t *testing.T) {
+	for _, threads := range []int{2, 3, 8} {
+		p := New(threads)
+		n := 97
+		seen := make([]bool, p.NumChunks(n))
+		var mu sync.Mutex
+		p.ForChunks(n, func(c, lo, hi int) {
+			wlo, whi := chunkRange(n, len(seen), c)
+			if lo != wlo || hi != whi {
+				t.Errorf("threads=%d chunk %d = [%d,%d), want [%d,%d)", threads, c, lo, hi, wlo, whi)
+			}
+			mu.Lock()
+			seen[c] = true
+			mu.Unlock()
+		})
+		p.Close()
+		for c, ok := range seen {
+			if !ok {
+				t.Fatalf("threads=%d: chunk %d never ran", threads, c)
+			}
+		}
+	}
+}
+
+// TestParallelDispatchZeroAllocs pins the zero-allocation property the
+// hydro kernels rely on: with a pre-bound body, For / ForChunks /
+// ReduceMin / ReduceSum allocate nothing per call.
+func TestParallelDispatchZeroAllocs(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	body := func(lo, hi int) {}
+	cbody := func(c, lo, hi int) {}
+	red := func(i int) float64 { return float64(i) }
+	p.For(512, body) // warm up: spawn workers, size slots
+	if n := testing.AllocsPerRun(50, func() { p.For(512, body) }); n != 0 {
+		t.Errorf("For allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { p.ForChunks(512, cbody) }); n != 0 {
+		t.Errorf("ForChunks allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { p.ReduceMin(512, red) }); n != 0 {
+		t.Errorf("ReduceMin allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { p.ReduceSum(512, red) }); n != 0 {
+		t.Errorf("ReduceSum allocates %v per call", n)
 	}
 }

@@ -8,6 +8,10 @@
 // start/stop pair) and are not safe for concurrent use by multiple
 // goroutines: in parallel runs each rank owns a private Set and the
 // driver merges them with Merge at the end.
+//
+// A nil *Set is a valid no-op sink: Start, Stop, Time, Elapsed and
+// Count accept it, so hot paths (the Lagrangian step, the ALE remap)
+// can take an optional timer set without allocating a throwaway one.
 package timers
 
 import (
@@ -72,30 +76,53 @@ func (s *Set) Get(name string) *Timer {
 	return t
 }
 
-// Start is shorthand for Get(name).Start().
-func (s *Set) Start(name string) { s.Get(name).Start() }
+// Start is shorthand for Get(name).Start(); a no-op on a nil Set.
+func (s *Set) Start(name string) {
+	if s == nil {
+		return
+	}
+	s.Get(name).Start()
+}
 
-// Stop is shorthand for Get(name).Stop().
-func (s *Set) Stop(name string) { s.Get(name).Stop() }
+// Stop is shorthand for Get(name).Stop(); a no-op on a nil Set.
+func (s *Set) Stop(name string) {
+	if s == nil {
+		return
+	}
+	s.Get(name).Stop()
+}
 
-// Time runs fn inside a Start/Stop pair for name.
+// Time runs fn inside a Start/Stop pair for name. On a nil Set it just
+// runs fn.
 func (s *Set) Time(name string, fn func()) {
+	if s == nil {
+		fn()
+		return
+	}
 	t := s.Get(name)
 	t.Start()
 	defer t.Stop()
 	fn()
 }
 
-// Elapsed returns the accumulated time for name (zero if never started).
+// Elapsed returns the accumulated time for name (zero if never started
+// or on a nil Set).
 func (s *Set) Elapsed(name string) time.Duration {
+	if s == nil {
+		return 0
+	}
 	if t, ok := s.byName[name]; ok {
 		return t.Elapsed
 	}
 	return 0
 }
 
-// Count returns the number of completed intervals for name.
+// Count returns the number of completed intervals for name (zero on a
+// nil Set).
 func (s *Set) Count(name string) int64 {
+	if s == nil {
+		return 0
+	}
 	if t, ok := s.byName[name]; ok {
 		return t.Count
 	}

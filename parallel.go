@@ -136,6 +136,7 @@ func runParallel(cfg Config) (*Result, error) {
 		}
 		p.ApplyVelocities(s)
 		s.Pool = par.New(cfg.Threads)
+		defer s.Pool.Close()
 
 		if resume != nil {
 			if err := resume.Restore(s, cfg.Problem, cfg.NX, cfg.NY); err != nil {
