@@ -9,19 +9,34 @@
 # several GOMAXPROCS settings, so the persistent worker pool's
 # channel-based synchronisation is exercised under both starved and
 # oversubscribed schedulers.
+# tier2-race runs the FULL tier-1 suite under the race detector at a
+# starved and an oversubscribed scheduler — the whole-program
+# complement to tier2-fault's targeted matrix, catching races in code
+# the fault-injection name filter never reaches (obs counters, probe
+# reductions, trace writers).
 # bench records the perf trajectory to BENCH_step.json so future
 # changes can be judged against it (see CHANGES.md for the cadence).
+# fuzz gives the deck-parser fuzz target a short budget; lengthen with
+# FUZZTIME=5m for a real session.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build tier1 tier2-fault tier2-par test bench bench-all clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-race test bench bench-all fuzz clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-tier1: build
+# Static gate: vet plus gofmt drift. Part of tier1 so a formatting or
+# vet regression fails the same gate a broken test does.
+vet:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+	  echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+tier1: build vet
 	$(GO) test ./...
 
 tier2-fault:
@@ -32,7 +47,16 @@ tier2-par:
 	GOMAXPROCS=2 $(GO) test -race ./internal/par ./internal/hydro -count=1
 	GOMAXPROCS=8 $(GO) test -race ./internal/par ./internal/hydro -count=1
 
-test: tier1 tier2-fault tier2-par
+tier2-race:
+	GOMAXPROCS=1 $(GO) test -race ./... -count=1
+	GOMAXPROCS=8 $(GO) test -race ./... -count=1
+
+test: tier1 tier2-fault tier2-par tier2-race
+
+# Native fuzzing for the deck parser (seed corpus: decks/ plus the
+# regression inputs under internal/config/testdata/fuzz).
+fuzz:
+	$(GO) test -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/config
 
 # The three step-path benchmarks, 5 repetitions each, aggregated into
 # BENCH_step.json (min ns/op, max allocs/op per name).

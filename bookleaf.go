@@ -22,6 +22,7 @@
 package bookleaf
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"bookleaf/internal/checkpoint"
 	"bookleaf/internal/hydro"
 	"bookleaf/internal/mesh"
+	"bookleaf/internal/obs"
 	"bookleaf/internal/par"
 	"bookleaf/internal/setup"
 	"bookleaf/internal/timers"
@@ -104,6 +106,27 @@ type Config struct {
 	// HistoryEvery records a StepRecord every n steps into
 	// Result.History (0 = off). Serial runs only.
 	HistoryEvery int
+
+	// Trace, when set, is the prefix of per-rank Chrome trace_event
+	// dumps (<prefix>.rank<id>.trace.json): one span per timer phase,
+	// instant events for rollbacks, aborts and probe violations. Merge
+	// and summarise with cmd/bleaf-trace; the merged file loads in
+	// chrome://tracing or Perfetto. When empty (the default) no tracer
+	// is attached and the steady-state step stays allocation-free.
+	Trace string
+	// Metrics, when set, names a metrics.json written at the end of
+	// the run: the merged obs counter/gauge/histogram snapshot plus
+	// run metadata and the per-kernel timer seconds.
+	Metrics string
+	// ProbeEvery samples the runtime invariant probes (total mass,
+	// internal+kinetic energy against the conservation identity, and
+	// finite-value sweeps) every n steps; 0 disables them. Samples and
+	// violations land in Result.Probes and the obs metrics.
+	ProbeEvery int
+	// ProbeMaxDrift is the per-step relative conservation-drift
+	// threshold above which a probe sample is flagged as a violation
+	// (0 selects obs.DefaultMaxDriftPerStep).
+	ProbeMaxDrift float64
 
 	// testDtMin overrides the minimum-timestep abort threshold; used
 	// by failure-injection tests.
@@ -255,6 +278,19 @@ type Result struct {
 	// History holds periodic step records when Config.HistoryEvery is
 	// set.
 	History []StepRecord
+
+	// Obs is the merged observability snapshot: counters summed across
+	// ranks (so counters such as steps_total and dt_cause_* are
+	// rank-summed, like TimerSum), gauges from the rank that published
+	// them, histograms merged. Always non-nil after a successful run.
+	Obs *obs.Snapshot
+
+	// Probes holds the invariant-probe samples (conservation records
+	// from rank 0, plus non-finite notes from any rank) when
+	// Config.ProbeEvery is set; ProbeViolations counts flagged samples
+	// across all ranks.
+	Probes          []obs.ProbeRecord
+	ProbeViolations int
 }
 
 // StepRecord is one entry of the optional step history: the quantities
@@ -302,6 +338,45 @@ func loadSnapshot(path, problem string, nx, ny, nel, nnd int) (*checkpoint.Snaps
 		return nil, fmt.Errorf("resume %s: %w", path, err)
 	}
 	return sn, nil
+}
+
+// dtCauseCounters pre-resolves one counter per timestep-limiting cause
+// so the per-step publish is a single indexed add.
+func dtCauseCounters(reg *obs.Registry) [5]*obs.Counter {
+	var out [5]*obs.Counter
+	for c := hydro.DtCauseInitial; c <= hydro.DtCauseMax; c++ {
+		out[c] = reg.Counter("dt_cause_" + c.String())
+	}
+	return out
+}
+
+// writeMetricsFile emits the machine-readable metrics.json for a
+// completed run: run identity, the merged obs snapshot, and the
+// per-kernel timer seconds.
+func writeMetricsFile(path string, cfg Config, res *Result, wallSeconds float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	mf := &obs.MetricsFile{
+		Meta: obs.Meta{
+			Problem: res.Problem, NX: cfg.NX, NY: cfg.NY,
+			Ranks: res.Ranks, Threads: res.Threads, Steps: res.Steps,
+			WallSeconds: wallSeconds,
+		},
+		Counters:   res.Obs.Counters,
+		Gauges:     res.Obs.Gauges,
+		Histograms: res.Obs.Histograms,
+		Timers:     res.Timers,
+	}
+	if err := obs.WriteMetrics(f, mf); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics %s: %w", path, err)
+	}
+	return nil
 }
 
 // writeSnapshotFile writes a snapshot dump, surfacing close errors
@@ -357,7 +432,22 @@ func runSerial(cfg Config) (*Result, error) {
 		return writeSnapshotFile(cfg.Checkpoint, checkpoint.Capture(s, cfg.Problem, cfg.NX, cfg.NY))
 	}
 
+	start := time.Now()
 	tm := timers.NewSet()
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if cfg.Trace != "" {
+		tracer = obs.NewTracer(0, start)
+		tm.SetSink(tracer)
+	}
+	var probe *obs.InvariantProbe
+	if cfg.ProbeEvery > 0 {
+		probe = obs.NewInvariantProbe(cfg.ProbeEvery, cfg.ProbeMaxDrift, reg)
+	}
+	ctrSteps := reg.Counter("steps_total")
+	ctrRemaps := reg.Counter("remaps_total")
+	ctrRollbacks := reg.Counter("rollbacks_total")
+	dtCause := dtCauseCounters(reg)
 	dtCap := math.Inf(1)
 	hooks := &hydro.Hooks{
 		ReduceDt: func(dt float64, e int) (float64, int) {
@@ -403,6 +493,7 @@ func runSerial(cfg Config) (*Result, error) {
 				if err != nil {
 					return fmt.Errorf("remap: %w", err)
 				}
+				ctrRemaps.Inc()
 			}
 			if cfg.testFault != nil {
 				cfg.testFault(0, s.StepCount, s)
@@ -411,8 +502,17 @@ func runSerial(cfg Config) (*Result, error) {
 		}()
 		if stepErr != nil {
 			if budget > 0 && hydro.Retryable(stepErr) {
+				// The health sentinel routes its finding through the
+				// probe so corruption is flagged even when the
+				// rollback below erases the corrupted state.
+				var nf *hydro.ErrNonFinite
+				if errors.As(stepErr, &nf) {
+					probe.NoteNonFinite(s.StepCount, s.Time)
+				}
 				budget--
 				res.Rollbacks++
+				ctrRollbacks.Inc()
+				tracer.Instant("rollback", nil)
 				s.Load(&roll)
 				// Halve the timestep cap below the last dt taken from
 				// the restored point; GetDt will re-grow it via
@@ -421,6 +521,15 @@ func runSerial(cfg Config) (*Result, error) {
 				continue
 			}
 			return nil, fmt.Errorf("bookleaf: step %d (t=%v): %w", s.StepCount, s.Time, stepErr)
+		}
+		ctrSteps.Inc()
+		dtCause[s.DtCause].Inc()
+		if probe.Due(s.StepCount) {
+			rec := probe.Sample(s.StepCount, s.Time,
+				s.TotalMass(), s.TotalEnergy(), s.ExternalWork, s.FloorEnergy, true)
+			if rec.Violation {
+				tracer.Instant("probe_violation", nil)
+			}
 		}
 		if !math.IsInf(dtCap, 1) {
 			dtCap *= s.Opt.DtGrowth
@@ -461,5 +570,20 @@ func runSerial(cfg Config) (*Result, error) {
 	res.ExternalWork = s.ExternalWork
 	res.FloorEnergy = s.FloorEnergy
 	res.MassFinal = s.TotalMass()
+	res.Obs = reg.Snapshot()
+	if probe != nil {
+		res.Probes = probe.Records
+		res.ProbeViolations = probe.Violations
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(cfg.Trace); err != nil {
+			return nil, fmt.Errorf("bookleaf: %w", err)
+		}
+	}
+	if cfg.Metrics != "" {
+		if err := writeMetricsFile(cfg.Metrics, cfg, res, time.Since(start).Seconds()); err != nil {
+			return nil, fmt.Errorf("bookleaf: %w", err)
+		}
+	}
 	return res, nil
 }

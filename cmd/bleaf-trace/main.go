@@ -1,0 +1,82 @@
+// Command bleaf-trace merges the per-rank Chrome trace_event dumps a
+// -trace run emits onto one timeline and prints the paper-style
+// per-phase summary (max-rank seconds = the bulk-synchronous wall
+// estimate, rank-summed CPU seconds, event counts) — the same
+// breakdown the paper's Fig. 2 reports per phase.
+//
+// Usage:
+//
+//	bookleaf -problem noh -nx 64 -ny 64 -ranks 4 -trace noh
+//	bleaf-trace -o noh.merged.trace.json noh.rank*.trace.json
+//
+// The merged file loads directly in chrome://tracing or
+// https://ui.perfetto.dev; each rank appears as one process lane.
+// -normalize zeroes timestamps and durations, leaving only the
+// deterministic event structure (used by golden-snapshot tests and
+// useful for diffing two runs).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bookleaf/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bleaf-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "write the merged trace JSON to this file")
+	normalize := flag.Bool("normalize", false, "zero timestamps/durations in the merged output (deterministic structure only)")
+	quiet := flag.Bool("quiet", false, "suppress the per-phase summary table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("usage: bleaf-trace [-o merged.json] [-normalize] <rank trace files...>")
+	}
+
+	files := make([]*obs.TraceFile, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		tf, err := obs.ReadTraceFile(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, tf)
+	}
+	merged := obs.MergeTraces(files...)
+
+	if !*quiet {
+		fmt.Printf("merged %d rank trace(s), %d events\n\n", len(files), len(merged.TraceEvents))
+		if err := obs.WriteSummaryTable(os.Stdout, obs.Summarise(merged)); err != nil {
+			return err
+		}
+	}
+
+	if *out != "" {
+		if *normalize {
+			obs.NormalizeTrace(merged)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(merged); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("\nmerged trace written to %s\n", *out)
+		}
+	}
+	return nil
+}

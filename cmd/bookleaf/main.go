@@ -66,6 +66,10 @@ func run() error {
 		rollEvery   = flag.Int("rollback-every", 0, "rolling-snapshot cadence for rollback-retry (0 = default 10, negative = off)")
 		retryBudget = flag.Int("retry-budget", 0, "rollback-retries before aborting (0 = default 3, negative = off)")
 		history     = flag.Int("history", 0, "print a step record every n steps")
+		tracePfx    = flag.String("trace", "", "write per-rank Chrome trace files <prefix>.rank<N>.trace.json (merge with bleaf-trace)")
+		metricsOut  = flag.String("metrics", "", "write a machine-readable metrics.json to this file")
+		probeEvery  = flag.Int("probe-every", 0, "sample mass/energy conservation probes every n steps (0 = off)")
+		probeDrift  = flag.Float64("probe-maxdrift", 0, "per-step relative drift flagged as a violation (0 = default)")
 		quiet       = flag.Bool("quiet", false, "suppress the kernel breakdown")
 	)
 	flag.Parse()
@@ -125,6 +129,20 @@ func run() error {
 			HistoryEvery: *history,
 		}
 	}
+	// Observability flags compose with decks: a flag set on the command
+	// line wins over the deck's [obs] keys.
+	if *tracePfx != "" {
+		cfg.Trace = *tracePfx
+	}
+	if *metricsOut != "" {
+		cfg.Metrics = *metricsOut
+	}
+	if *probeEvery != 0 {
+		cfg.ProbeEvery = *probeEvery
+	}
+	if *probeDrift != 0 {
+		cfg.ProbeMaxDrift = *probeDrift
+	}
 
 	start := time.Now()
 	res, err := bookleaf.Run(cfg)
@@ -143,6 +161,15 @@ func run() error {
 	fmt.Printf("mass       M0=%.8g M=%.8g\n", res.Mass0, res.MassFinal)
 	if res.Rollbacks > 0 {
 		fmt.Printf("rollbacks  %d transient failure(s) recovered\n", res.Rollbacks)
+	}
+	if cfg.ProbeEvery > 0 {
+		fmt.Printf("probes     %d sample(s), %d violation(s)\n", len(res.Probes), res.ProbeViolations)
+	}
+	if cfg.Metrics != "" {
+		fmt.Printf("metrics    written to %s\n", cfg.Metrics)
+	}
+	if cfg.Trace != "" {
+		fmt.Printf("traces     %s.rank*.trace.json (merge with bleaf-trace)\n", cfg.Trace)
 	}
 
 	if len(res.History) > 0 {
@@ -269,6 +296,14 @@ func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
 		return cfg, err
 	}
 	if cfg.FirstOrderRemap, err = d.Bool("ale", "firstorder", false); err != nil {
+		return cfg, err
+	}
+	cfg.Trace = d.String("obs", "trace", "")
+	cfg.Metrics = d.String("obs", "metrics", "")
+	if cfg.ProbeEvery, err = d.Int("obs", "probe_every", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.ProbeMaxDrift, err = d.Float("obs", "probe_maxdrift", 0); err != nil {
 		return cfg, err
 	}
 	cfg.Hourglass = d.String("hydro", "hourglass", "")

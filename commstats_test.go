@@ -4,22 +4,85 @@ import (
 	"testing"
 
 	"bookleaf"
+	"bookleaf/internal/partition"
+	"bookleaf/internal/setup"
 )
+
+// expectedHaloMsgsPerStep reproduces the driver's partitioning for cfg
+// and returns how many element-halo and node-halo messages one
+// exchange of each kind costs: one message per populated send list,
+// summed over ranks. Deriving the count from the partitioner (rather
+// than hard-coding "4 messages per step") keeps the test honest for
+// any rank count and for both partitioners, whose boundary shapes —
+// and hence neighbour counts — differ.
+func expectedHaloMsgsPerStep(t *testing.T, cfg bookleaf.Config) (el, nd int64) {
+	t.Helper()
+	p, err := setup.ByName(cfg.Problem, cfg.NX, cfg.NY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var part []int
+	switch cfg.Partitioner {
+	case "metis":
+		part, err = partition.MultilevelMesh(p.Mesh, cfg.Ranks)
+	default:
+		part, err = partition.RCBMesh(p.Mesh, cfg.Ranks)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := partition.Split(p.Mesh, part, cfg.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		el += int64(len(sub.ElSend))
+		nd += int64(len(sub.NdSend))
+	}
+	return el, nd
+}
 
 func TestCommStatsReported(t *testing.T) {
 	serial := run(t, bookleaf.Config{Problem: "sod", NX: 32, NY: 4, MaxSteps: 10})
 	if serial.CommMsgs != 0 || serial.CommWords != 0 {
 		t.Fatalf("serial run reported traffic: %d msgs %d words", serial.CommMsgs, serial.CommWords)
 	}
-	par := run(t, bookleaf.Config{Problem: "sod", NX: 32, NY: 4, MaxSteps: 10, Ranks: 2})
-	if par.CommMsgs == 0 || par.CommWords == 0 {
-		t.Fatal("parallel run reported no traffic")
+
+	// The Lagrangian step does one element-halo exchange (forces
+	// phase) and one node-halo exchange (velocities phase) per step,
+	// so the total message count follows from the partitioner's send
+	// lists alone. Check it for both partitioners at rank counts where
+	// their boundary topologies differ.
+	cases := []bookleaf.Config{
+		{Problem: "sod", NX: 32, NY: 4, MaxSteps: 10, Ranks: 2},
+		{Problem: "sod", NX: 32, NY: 4, MaxSteps: 10, Ranks: 4, Partitioner: "metis"},
+		{Problem: "noh", NX: 16, NY: 16, MaxSteps: 10, Ranks: 4},
+		{Problem: "noh", NX: 16, NY: 16, MaxSteps: 10, Ranks: 4, Partitioner: "metis"},
 	}
-	// Two halo exchanges per step, one message per neighbour pair per
-	// exchange, two ranks (one neighbour each): 4 messages per step.
-	want := int64(4 * par.Steps)
-	if par.CommMsgs != want {
-		t.Fatalf("msgs = %d, want %d (2 exchanges x 2 ranks x %d steps)", par.CommMsgs, want, par.Steps)
+	for _, cfg := range cases {
+		name := cfg.Problem + "-" + cfg.Partitioner
+		if cfg.Partitioner == "" {
+			name = cfg.Problem + "-rcb"
+		}
+		t.Run(name, func(t *testing.T) {
+			el, nd := expectedHaloMsgsPerStep(t, cfg)
+			if el == 0 || nd == 0 {
+				t.Fatalf("partition has no halo (el=%d nd=%d); test is vacuous", el, nd)
+			}
+			par := run(t, cfg)
+			steps := int64(par.Steps)
+			if want := (el + nd) * steps; par.CommMsgs != want {
+				t.Fatalf("msgs = %d, want %d (%d el + %d nd per step x %d steps)",
+					par.CommMsgs, want, el, nd, steps)
+			}
+			// The obs phase counters must show the same split.
+			if got := par.Obs.Counters["halo_msgs_forces"]; got != el*steps {
+				t.Fatalf("halo_msgs_forces = %d, want %d", got, el*steps)
+			}
+			if got := par.Obs.Counters["halo_msgs_velocities"]; got != nd*steps {
+				t.Fatalf("halo_msgs_velocities = %d, want %d", got, nd*steps)
+			}
+		})
 	}
 }
 

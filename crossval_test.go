@@ -87,6 +87,43 @@ func TestSaltzmannMatchesOneDPiston(t *testing.T) {
 	}
 }
 
+// The obs registry counts messages at the same send site as the
+// communicator's own Stats() accounting, so the two independent
+// totals must agree exactly — and the per-phase halo counters must
+// partition the total with nothing left over.
+func TestObsCountersCrossCheckCommStats(t *testing.T) {
+	res := run(t, bookleaf.Config{Problem: "sod", NX: 64, NY: 4, Ranks: 4, MaxSteps: 30})
+	if res.Obs == nil {
+		t.Fatal("no obs snapshot on result")
+	}
+	if got := res.Obs.Counters["comm_msgs_total"]; got != res.CommMsgs {
+		t.Fatalf("obs comm_msgs_total = %d, typhon Stats = %d", got, res.CommMsgs)
+	}
+	if got := res.Obs.Counters["comm_words_total"]; got != res.CommWords {
+		t.Fatalf("obs comm_words_total = %d, typhon Stats = %d", got, res.CommWords)
+	}
+	phases := res.Obs.Counters["halo_msgs_forces"] +
+		res.Obs.Counters["halo_msgs_velocities"] +
+		res.Obs.Counters["halo_msgs_remap"]
+	if phases != res.CommMsgs {
+		t.Fatalf("phase msg counters sum to %d, total is %d", phases, res.CommMsgs)
+	}
+	words := res.Obs.Counters["halo_words_forces"] +
+		res.Obs.Counters["halo_words_velocities"] +
+		res.Obs.Counters["halo_words_remap"]
+	if words != res.CommWords {
+		t.Fatalf("phase word counters sum to %d, total is %d", words, res.CommWords)
+	}
+	// The message-size histogram sees every message too.
+	h, ok := res.Obs.Histograms["halo_msg_words"]
+	if !ok {
+		t.Fatal("halo_msg_words histogram missing")
+	}
+	if h.Count != res.CommMsgs || int64(h.Sum) != res.CommWords {
+		t.Fatalf("histogram count/sum = %d/%v, Stats = %d/%d", h.Count, h.Sum, res.CommMsgs, res.CommWords)
+	}
+}
+
 func build1DPiston(t *testing.T, opt ref1d.Options, n int) *ref1d.Solver {
 	t.Helper()
 	g, err := eos.NewIdealGas(5.0 / 3.0)

@@ -77,13 +77,50 @@ func (s *State) bindKernels() {
 	s.kb.ein = s.einBody
 }
 
+// DtCause identifies which condition controlled the last GetDt result
+// — the dt-controller dynamics the paper's evaluation tracks. The
+// observability layer counts steps per cause.
+type DtCause uint8
+
+const (
+	// DtCauseInitial is the prescribed first-step timestep.
+	DtCauseInitial DtCause = iota
+	// DtCauseCFL is the sound-speed (CFL) condition.
+	DtCauseCFL
+	// DtCauseDivergence is the volume-change (divergence) limit.
+	DtCauseDivergence
+	// DtCauseGrowth is the growth cap relative to the previous step.
+	DtCauseGrowth
+	// DtCauseMax is the absolute DtMax ceiling.
+	DtCauseMax
+)
+
+// String returns the metric-friendly name of the cause.
+func (c DtCause) String() string {
+	switch c {
+	case DtCauseInitial:
+		return "initial"
+	case DtCauseCFL:
+		return "cfl"
+	case DtCauseDivergence:
+		return "divergence"
+	case DtCauseGrowth:
+		return "growth"
+	case DtCauseMax:
+		return "max"
+	}
+	return "unknown"
+}
+
 // GetDt computes the stable timestep over owned elements and the
 // element controlling it. It applies, in order: the CFL sound-speed
 // condition (with the viscosity correction 2q/rho in the signal speed),
 // the volume-change (divergence) limit, the growth cap relative to the
 // previous step, and DtMax. In a distributed run the caller reduces
 // (dt, element) globally with MINLOC, exactly as the paper's single
-// global reduction.
+// global reduction. The winning condition is left in s.DtCause (local
+// to this rank; the global controller's cause lives on the rank that
+// wins the MINLOC).
 func (s *State) GetDt() (dt float64, controller int) {
 	nel := s.Mesh.NOwnEl
 	// CFL condition: dt_e = CFL * L / sqrt(c² + 2q/rho). Computed via
@@ -93,14 +130,18 @@ func (s *State) GetDt() (dt float64, controller int) {
 	// Divergence condition: dt_e = DivSafety / |div u|.
 	divMin, divArg := s.Pool.ReduceMin(nel, s.kb.div)
 	dt, controller = cflMin, cflArg
+	s.DtCause = DtCauseCFL
 	if divMin < dt {
 		dt, controller = divMin, divArg
+		s.DtCause = DtCauseDivergence
 	}
 	if g := s.Opt.DtGrowth * s.DtPrev; g < dt {
 		dt, controller = g, -1
+		s.DtCause = DtCauseGrowth
 	}
 	if s.Opt.DtMax < dt {
 		dt, controller = s.Opt.DtMax, -1
+		s.DtCause = DtCauseMax
 	}
 	return dt, controller
 }

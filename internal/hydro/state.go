@@ -91,6 +91,9 @@ type State struct {
 	Time, DtPrev float64
 	// StepCount is the number of completed Lagrangian steps.
 	StepCount int
+	// DtCause records which condition controlled the last timestep
+	// (set by GetDt; DtCauseInitial on the first step).
+	DtCause DtCause
 
 	// ka and kb are the kernel scratch arena and the pre-bound loop
 	// bodies (see kernels.go); together they make the steady-state step

@@ -51,6 +51,7 @@ func (s *State) Step(tm *timers.Set, hooks *Hooks) (float64, error) {
 	var controller int
 	if s.StepCount == 0 {
 		dt, controller = s.Opt.DtInitial, -1
+		s.DtCause = DtCauseInitial
 	} else {
 		tm.Start(TimerGetDt)
 		dt, controller = s.GetDt()

@@ -21,6 +21,14 @@ import (
 	"time"
 )
 
+// SpanSink receives one completed interval per Set.Stop (or Set.Time)
+// call. The obs tracer implements it to turn timer phases into Chrome
+// trace spans without the kernels knowing about tracing; a nil sink
+// (the default) keeps the stop path a plain accumulate.
+type SpanSink interface {
+	Span(name string, start time.Time, d time.Duration)
+}
+
 // Timer accumulates wall time for one named kernel.
 type Timer struct {
 	Name    string
@@ -28,6 +36,7 @@ type Timer struct {
 	Count   int64
 
 	started time.Time
+	last    time.Duration
 	running bool
 }
 
@@ -46,7 +55,8 @@ func (t *Timer) Stop() {
 	if !t.running {
 		panic("timers: Stop on stopped timer " + t.Name)
 	}
-	t.Elapsed += time.Since(t.started)
+	t.last = time.Since(t.started)
+	t.Elapsed += t.last
 	t.Count++
 	t.running = false
 }
@@ -58,6 +68,16 @@ func (t *Timer) Running() bool { return t.running }
 type Set struct {
 	byName map[string]*Timer
 	order  []string // registration order, for stable reporting
+	sink   SpanSink
+}
+
+// SetSink attaches a span sink receiving every completed Stop/Time
+// interval; nil detaches. A no-op on a nil Set.
+func (s *Set) SetSink(k SpanSink) {
+	if s == nil {
+		return
+	}
+	s.sink = k
 }
 
 // NewSet returns an empty timer registry.
@@ -84,12 +104,17 @@ func (s *Set) Start(name string) {
 	s.Get(name).Start()
 }
 
-// Stop is shorthand for Get(name).Stop(); a no-op on a nil Set.
+// Stop is shorthand for Get(name).Stop(); a no-op on a nil Set. With a
+// span sink attached, the completed interval is forwarded to it.
 func (s *Set) Stop(name string) {
 	if s == nil {
 		return
 	}
-	s.Get(name).Stop()
+	t := s.Get(name)
+	t.Stop()
+	if s.sink != nil {
+		s.sink.Span(name, t.started, t.last)
+	}
 }
 
 // Time runs fn inside a Start/Stop pair for name. On a nil Set it just
@@ -99,9 +124,8 @@ func (s *Set) Time(name string, fn func()) {
 		fn()
 		return
 	}
-	t := s.Get(name)
-	t.Start()
-	defer t.Stop()
+	s.Start(name)
+	defer s.Stop(name)
 	fn()
 }
 

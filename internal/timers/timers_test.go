@@ -170,3 +170,54 @@ func TestRunningFlag(t *testing.T) {
 		t.Fatal("stopped timer should not be running")
 	}
 }
+
+type recordedSpan struct {
+	name  string
+	start time.Time
+	d     time.Duration
+}
+
+type spanRecorder struct{ spans []recordedSpan }
+
+func (r *spanRecorder) Span(name string, start time.Time, d time.Duration) {
+	r.spans = append(r.spans, recordedSpan{name, start, d})
+}
+
+func TestSetSinkReceivesSpans(t *testing.T) {
+	s := NewSet()
+	rec := &spanRecorder{}
+	s.SetSink(rec)
+
+	s.Start("phase")
+	time.Sleep(time.Millisecond)
+	s.Stop("phase")
+	s.Time("timed", func() { time.Sleep(time.Millisecond) })
+
+	if len(rec.spans) != 2 {
+		t.Fatalf("sink saw %d spans, want 2", len(rec.spans))
+	}
+	if rec.spans[0].name != "phase" || rec.spans[1].name != "timed" {
+		t.Fatalf("span names = %v", rec.spans)
+	}
+	for _, sp := range rec.spans {
+		if sp.d <= 0 {
+			t.Fatalf("span %q has non-positive duration %v", sp.name, sp.d)
+		}
+		if sp.start.IsZero() {
+			t.Fatalf("span %q has zero start", sp.name)
+		}
+		if got := s.Elapsed(sp.name); got < sp.d {
+			t.Fatalf("timer %q elapsed %v < span duration %v", sp.name, got, sp.d)
+		}
+	}
+
+	// Detaching the sink stops span delivery but not timing.
+	s.SetSink(nil)
+	s.Time("phase", func() {})
+	if len(rec.spans) != 2 {
+		t.Fatal("sink still received spans after detach")
+	}
+	if s.Count("phase") != 2 {
+		t.Fatalf("timer count = %d, want 2", s.Count("phase"))
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"bookleaf/internal/obs"
 )
 
 // Comm is a communicator over a fixed number of ranks.
@@ -62,6 +64,33 @@ type Comm struct {
 	// goroutine; read after Run returns).
 	sentMsgs  []int64
 	sentWords []int64
+
+	// Optional per-rank obs instruments (AttachObs), pre-resolved so
+	// the send path pays a nil check and two integer adds, never a map
+	// lookup. Each slot is touched only by its own rank's goroutine.
+	obsMsgs  []*obs.Counter
+	obsWords []*obs.Counter
+	obsSizes []*obs.Histogram
+}
+
+// AttachObs publishes per-rank traffic metrics into the given
+// registries (one per rank; nil entries disable that rank): counters
+// comm_msgs_total and comm_words_total, and the halo_msg_words message
+// size histogram. The counters always agree with Stats() — both are
+// incremented at the same place in send — which the cross-validation
+// tests assert. Call before Run.
+func (c *Comm) AttachObs(regs []*obs.Registry) {
+	if len(regs) != c.n {
+		panic(fmt.Sprintf("typhon: AttachObs got %d registries for %d ranks", len(regs), c.n))
+	}
+	c.obsMsgs = make([]*obs.Counter, c.n)
+	c.obsWords = make([]*obs.Counter, c.n)
+	c.obsSizes = make([]*obs.Histogram, c.n)
+	for i, reg := range regs {
+		c.obsMsgs[i] = reg.Counter("comm_msgs_total")
+		c.obsWords[i] = reg.Counter("comm_words_total")
+		c.obsSizes[i] = reg.Histogram("halo_msg_words")
+	}
 }
 
 // NewComm creates a communicator with n ranks.
@@ -140,6 +169,11 @@ func (r *Rank) send(dst int, buf []float64) error {
 	c := r.comm
 	c.sentMsgs[r.id]++
 	c.sentWords[r.id] += int64(len(buf))
+	if c.obsMsgs != nil {
+		c.obsMsgs[r.id].Inc()
+		c.obsWords[r.id].Add(int64(len(buf)))
+		c.obsSizes[r.id].Observe(float64(len(buf)))
+	}
 	if f := c.faultFor(r.id, c.sentMsgs[r.id]); f != nil {
 		switch f.Kind {
 		case FaultPanic:

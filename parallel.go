@@ -4,16 +4,26 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"bookleaf/internal/ale"
 	"bookleaf/internal/checkpoint"
 	"bookleaf/internal/hydro"
+	"bookleaf/internal/obs"
 	"bookleaf/internal/par"
 	"bookleaf/internal/partition"
 	"bookleaf/internal/setup"
 	"bookleaf/internal/timers"
 	"bookleaf/internal/typhon"
 )
+
+// phaseCtrs is the per-exchange-phase attribution pair: the driver
+// reads the rank's total-traffic counters around each exchange and
+// adds the delta here, so per-phase splits can never disagree with the
+// totals typhon publishes.
+type phaseCtrs struct {
+	msgs, words *obs.Counter
+}
 
 // Collective step-status codes, reduced with AllReduceMin at the top of
 // every driver iteration so all ranks agree on the worst rank's state.
@@ -72,6 +82,18 @@ func runParallel(cfg Config) (*Result, error) {
 	if cfg.testRecvTimeout > 0 {
 		comm.SetRecvTimeout(cfg.testRecvTimeout)
 	}
+
+	// Per-rank observability: registries always on (counter updates are
+	// plain adds), tracers and probes only when configured. All ranks
+	// share one epoch so merged traces align on a single timeline.
+	epoch := time.Now()
+	regs := make([]*obs.Registry, cfg.Ranks)
+	for i := range regs {
+		regs[i] = obs.NewRegistry()
+	}
+	comm.AttachObs(regs)
+	tracers := make([]*obs.Tracer, cfg.Ranks)
+	probes := make([]*obs.InvariantProbe, cfg.Ranks)
 
 	tEnd := p.TEnd
 	if cfg.TEnd > 0 {
@@ -155,17 +177,42 @@ func runParallel(cfg Config) (*Result, error) {
 		elHalo := typhon.NewHalo(sm.ElSend, sm.ElRecv)
 		ndHalo := typhon.NewHalo(sm.NdSend, sm.NdRecv)
 
+		reg := regs[rk.ID()]
+		var tracer *obs.Tracer
+		if cfg.Trace != "" {
+			tracer = obs.NewTracer(rk.ID(), epoch)
+			tracers[rk.ID()] = tracer
+		}
+		var probe *obs.InvariantProbe
+		if cfg.ProbeEvery > 0 {
+			probe = obs.NewInvariantProbe(cfg.ProbeEvery, cfg.ProbeMaxDrift, reg)
+			probes[rk.ID()] = probe
+		}
+		ctrSteps := reg.Counter("steps_total")
+		ctrRemaps := reg.Counter("remaps_total")
+		ctrRollbacks := reg.Counter("rollbacks_total")
+		ctrReduce := reg.Counter("dt_reductions_total")
+		dtCause := dtCauseCounters(reg)
+		msgsTotal := reg.Counter("comm_msgs_total")
+		wordsTotal := reg.Counter("comm_words_total")
+		forcesPh := phaseCtrs{reg.Counter("halo_msgs_forces"), reg.Counter("halo_words_forces")}
+		velPh := phaseCtrs{reg.Counter("halo_msgs_velocities"), reg.Counter("halo_words_velocities")}
+		remapPh := phaseCtrs{reg.Counter("halo_msgs_remap"), reg.Counter("halo_words_remap")}
+
 		// commErr latches the first communication failure on this rank;
 		// all later exchanges no-op so the rank drains to the next
 		// status check instead of blocking on a poisoned Comm.
 		var commErr error
-		exch := func(h *typhon.Halo, stride int, fields ...[]float64) {
+		exch := func(ph phaseCtrs, h *typhon.Halo, stride int, fields ...[]float64) {
 			if commErr != nil {
 				return
 			}
+			m0, w0 := msgsTotal.Value(), wordsTotal.Value()
 			if err := rk.Exchange(h, stride, fields...); err != nil {
 				commErr = err
 			}
+			ph.msgs.Add(msgsTotal.Value() - m0)
+			ph.words.Add(wordsTotal.Value() - w0)
 		}
 
 		var remap *ale.Remapper
@@ -174,11 +221,14 @@ func runParallel(cfg Config) (*Result, error) {
 		}
 		aleHooks := &ale.Hooks{
 			ExchangeCellFields: func(fields ...[]float64) {
-				exch(elHalo, 1, fields...)
+				exch(remapPh, elHalo, 1, fields...)
 			},
 		}
 
 		tm := timers.NewSet()
+		if tracer != nil {
+			tm.SetSink(tracer)
+		}
 		dtCap := math.Inf(1)
 		// hooksDone counts the exchange hooks run in the current step
 		// so a failing rank can compensate the ones its peers still
@@ -194,6 +244,7 @@ func runParallel(cfg Config) (*Result, error) {
 					loc = lm.GlobalEl[e]
 				}
 				if commErr == nil {
+					ctrReduce.Inc()
 					d, l, err := rk.AllReduceMinLoc(dt, loc)
 					if err != nil {
 						commErr = err
@@ -208,11 +259,11 @@ func runParallel(cfg Config) (*Result, error) {
 			},
 			ExchangeForces: func(st *hydro.State) {
 				hooksDone++
-				exch(elHalo, 4, st.FX, st.FY)
+				exch(forcesPh, elHalo, 4, st.FX, st.FY)
 			},
 			ExchangeVelocities: func(st *hydro.State) {
 				hooksDone++
-				exch(ndHalo, 1, st.U, st.V, st.UBar, st.VBar)
+				exch(velPh, ndHalo, 1, st.U, st.V, st.UBar, st.VBar)
 			},
 		}
 
@@ -263,6 +314,38 @@ func runParallel(cfg Config) (*Result, error) {
 			return nil
 		}
 
+		// sampleProbe globally reduces the conservation invariants and
+		// records the sample on rank 0. Called collectively at the
+		// healthy point, so the reductions line up across ranks. The
+		// sampled state is finite by construction — a non-finite field
+		// never reaches the healthy point; those are flagged through
+		// NoteNonFinite on the rank that detects them.
+		sampleProbe := func() error {
+			mass, err := rk.AllReduceSum(s.TotalMass())
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			energy, err := rk.AllReduceSum(s.TotalEnergy())
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			work, err := rk.AllReduceSum(s.ExternalWork)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			floor, err := rk.AllReduceSum(s.FloorEnergy)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rk.ID(), err)
+			}
+			if rk.ID() == 0 {
+				rec := probe.Sample(s.StepCount, s.Time, mass, energy, work, floor, true)
+				if rec.Violation {
+					tracer.Instant("probe_violation", nil)
+				}
+			}
+			return nil
+		}
+
 		rollEvery := cfg.rollbackEvery()
 		budget := cfg.retryBudget()
 		if rollEvery == 0 {
@@ -275,6 +358,7 @@ func runParallel(cfg Config) (*Result, error) {
 		var stepErr, fatalErr error
 		rollbacks := 0
 		lastCk := -1
+		lastProbe := -1
 		for {
 			if fatalErr == nil && commErr != nil {
 				fatalErr = fmt.Errorf("rank %d: %w", rk.ID(), commErr)
@@ -306,6 +390,7 @@ func runParallel(cfg Config) (*Result, error) {
 						fatalErr = fmt.Errorf("rank %d stopped by peer failure: %w", rk.ID(), typhon.ErrAborted)
 					}
 				}
+				tracer.Instant("abort", nil)
 				break
 			}
 			if g < stOK {
@@ -315,6 +400,8 @@ func runParallel(cfg Config) (*Result, error) {
 				// both only change here.
 				budget--
 				rollbacks++
+				ctrRollbacks.Inc()
+				tracer.Instant("rollback", nil)
 				s.Load(&roll)
 				dtCap = math.Min(dtCap, s.DtPrev) / 2
 				stepErr = nil
@@ -325,6 +412,13 @@ func runParallel(cfg Config) (*Result, error) {
 				s.StepCount%cfg.CheckpointEvery == 0 && s.StepCount != lastCk {
 				lastCk = s.StepCount
 				if err := writeCk(); err != nil {
+					fatalErr = err
+					continue
+				}
+			}
+			if probe.Due(s.StepCount) && s.StepCount != lastProbe {
+				lastProbe = s.StepCount
+				if err := sampleProbe(); err != nil {
 					fatalErr = err
 					continue
 				}
@@ -344,16 +438,16 @@ func runParallel(cfg Config) (*Result, error) {
 				// Compensate the exchanges peers will still perform
 				// this step, keeping the schedule deadlock-free.
 				if hooksDone < 1 {
-					exch(elHalo, 4, s.FX, s.FY)
+					exch(forcesPh, elHalo, 4, s.FX, s.FY)
 				}
 				if hooksDone < 2 {
-					exch(ndHalo, 1, s.U, s.V, s.UBar, s.VBar)
+					exch(velPh, ndHalo, 1, s.U, s.V, s.UBar, s.VBar)
 				}
 				// Peers that completed the step will also run the
 				// remap exchange (their StepCount is one ahead).
 				if remap != nil && (s.StepCount+1)%cfg.ALEFreq == 0 {
 					remap.ExchangeScratch(aleHooks)
-					exch(ndHalo, 1, s.U, s.V)
+					exch(remapPh, ndHalo, 1, s.U, s.V)
 				}
 				continue
 			}
@@ -364,23 +458,30 @@ func runParallel(cfg Config) (*Result, error) {
 				// ranks: refresh them for the next viscosity
 				// calculation. Performed even on failure so peers
 				// don't block.
-				exch(ndHalo, 1, s.U, s.V)
+				exch(remapPh, ndHalo, 1, s.U, s.V)
 				tm.Stop(hydro.TimerALE)
 				if err != nil {
 					stepErr = fmt.Errorf("rank %d remap step %d: %w", rk.ID(), s.StepCount, err)
 					continue
 				}
+				ctrRemaps.Inc()
 			}
 			if cfg.testFault != nil {
 				cfg.testFault(rk.ID(), s.StepCount, s)
 			}
 			// Health sentinel: a NaN/Inf in the evolving fields rolls
 			// the run back rather than silently spreading through the
-			// next halo exchange.
+			// next halo exchange. The probe records the finding first,
+			// so corruption is flagged within the step it appears even
+			// though the rollback erases the corrupted state.
 			if err := s.CheckFinite(); err != nil {
+				probe.NoteNonFinite(s.StepCount, s.Time)
+				tracer.Instant("probe_violation", nil)
 				stepErr = fmt.Errorf("rank %d step %d (t=%v): %w", rk.ID(), s.StepCount, s.Time, err)
 				continue
 			}
+			ctrSteps.Inc()
+			dtCause[s.DtCause].Inc()
 			if !math.IsInf(dtCap, 1) {
 				dtCap *= s.Opt.DtGrowth
 			}
@@ -478,6 +579,47 @@ func runParallel(cfg Config) (*Result, error) {
 	if err == nil {
 		res.E0 = s0.TotalEnergy()
 		res.Mass0 = s0.TotalMass()
+	}
+
+	// Merge the per-rank observability state: counters and histograms
+	// sum across ranks, gauges come from the rank that published them
+	// (the probe gauges live on rank 0).
+	merged := obs.NewRegistry()
+	for _, r := range regs {
+		merged.Merge(r)
+	}
+	res.Obs = merged.Snapshot()
+	for id, pr := range probes {
+		if pr == nil {
+			continue
+		}
+		res.ProbeViolations += pr.Violations
+		if id == 0 {
+			res.Probes = append(res.Probes, pr.Records...)
+			continue
+		}
+		// Conservation samples are recorded on rank 0 only; other
+		// ranks contribute their non-finite notes.
+		for _, rec := range pr.Records {
+			if rec.Violation && !rec.Finite {
+				res.Probes = append(res.Probes, rec)
+			}
+		}
+	}
+	if cfg.Trace != "" {
+		for _, tr := range tracers {
+			if tr == nil {
+				continue
+			}
+			if err := tr.WriteFile(cfg.Trace); err != nil {
+				return nil, fmt.Errorf("bookleaf: %w", err)
+			}
+		}
+	}
+	if cfg.Metrics != "" {
+		if err := writeMetricsFile(cfg.Metrics, cfg, res, time.Since(epoch).Seconds()); err != nil {
+			return nil, fmt.Errorf("bookleaf: %w", err)
+		}
 	}
 	return res, nil
 }
