@@ -9,6 +9,10 @@
 # several GOMAXPROCS settings, so the persistent worker pool's
 # channel-based synchronisation is exercised under both starved and
 # oversubscribed schedulers.
+# tier2-overlap races the phased-exchange machinery: the typhon
+# Start/Finish path and its fault matrix, the overlap-vs-sync bitwise
+# determinism sweep, and the multi-rank zero-allocation pins — the
+# suite that guards the communication/computation overlap feature.
 # tier2-race runs the FULL tier-1 suite under the race detector at a
 # starved and an oversubscribed scheduler — the whole-program
 # complement to tier2-fault's targeted matrix, catching races in code
@@ -22,7 +26,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet tier1 tier2-fault tier2-par tier2-race test bench bench-all fuzz clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-race test bench bench-all fuzz clean
 
 all: build
 
@@ -47,23 +51,31 @@ tier2-par:
 	GOMAXPROCS=2 $(GO) test -race ./internal/par ./internal/hydro -count=1
 	GOMAXPROCS=8 $(GO) test -race ./internal/par ./internal/hydro -count=1
 
+tier2-overlap:
+	$(GO) test -race ./internal/typhon -run 'Phased|HaloOrder|Exchange' -count=1
+	$(GO) test -race . -run 'Overlap|ParallelStepZeroAllocs' -count=1
+
 tier2-race:
 	GOMAXPROCS=1 $(GO) test -race ./... -count=1
 	GOMAXPROCS=8 $(GO) test -race ./... -count=1
 
-test: tier1 tier2-fault tier2-par tier2-race
+test: tier1 tier2-fault tier2-par tier2-overlap tier2-race
 
 # Native fuzzing for the deck parser (seed corpus: decks/ plus the
 # regression inputs under internal/config/testdata/fuzz).
 fuzz:
 	$(GO) test -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/config
 
-# The three step-path benchmarks, 5 repetitions each, aggregated into
-# BENCH_step.json (min ns/op, max allocs/op per name).
+# The step-path benchmarks, 5 repetitions each, aggregated into
+# BENCH_step.json (min ns/op, max allocs/op per name). -merge keeps
+# entries from earlier bench runs that this recipe no longer re-runs,
+# so the record only ever gains axes (e.g. the ranks × overlap grid of
+# BenchmarkParallelStep).
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkLagrangianStep$$|BenchmarkRemap$$' -benchmem -count=5 . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkParallelStep' -benchmem -count=5 -timeout 30m . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkStepThreads' -benchmem -count=5 ./internal/hydro ; } \
-	  | $(GO) run ./cmd/bleaf-bench -o BENCH_step.json
+	  | $(GO) run ./cmd/bleaf-bench -merge -o BENCH_step.json
 
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

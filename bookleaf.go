@@ -79,6 +79,16 @@ type Config struct {
 	// data dependency).
 	ScatterAcc bool
 
+	// Overlap switches the two Lagrangian-step halo exchanges of
+	// parallel runs to the phased schedule: sends are posted, the
+	// interior portion of the dependent kernels runs while messages are
+	// in flight, then the receives complete and the boundary band
+	// finishes. Results are bitwise identical to the synchronous
+	// schedule at every rank count (see DESIGN.md §10). Ignored by
+	// serial runs, which have no halos. Incompatible with ScatterAcc,
+	// whose whole-range scatter has no interior/boundary split.
+	Overlap bool
+
 	// SedovEnergy overrides the Sedov blast energy when positive.
 	SedovEnergy float64
 
@@ -176,6 +186,9 @@ func (c *Config) normalise() error {
 	}
 	if c.ALE == "smoothed" && c.Ranks > 1 {
 		return fmt.Errorf("bookleaf: smoothed ALE is serial-only (ghost smoothing stencils are incomplete)")
+	}
+	if c.Overlap && c.ScatterAcc {
+		return fmt.Errorf("bookleaf: Overlap requires the gather acceleration (ScatterAcc sweeps all elements at once and has no interior/boundary split)")
 	}
 	return nil
 }

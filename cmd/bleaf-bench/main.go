@@ -10,6 +10,12 @@
 //
 //	go test -bench 'BenchmarkLagrangianStep' -benchmem -count=5 . | bleaf-bench -o BENCH_step.json
 //
+// With -merge, entries already present in the -o file are loaded first
+// and the new results overlaid on top (same name → replaced, new name →
+// added), so a bench run that adds an axis — say BenchmarkParallelStep
+// gaining a ranks dimension — extends the record instead of erasing the
+// benchmarks it didn't re-run.
+//
 // Names are recorded exactly as go test emits them (including any
 // GOMAXPROCS suffix): stripping the "-N" suffix would collide with
 // sub-benchmark names that legitimately end in "-N" ("threads-4") on
@@ -45,6 +51,7 @@ type Entry struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	merge := flag.Bool("merge", false, "keep entries already in the -o file that this run does not replace")
 	flag.Parse()
 	entries, err := aggregate(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -54,6 +61,16 @@ func main() {
 	if len(entries) == 0 {
 		fmt.Fprintln(os.Stderr, "bleaf-bench: no benchmark results on stdin")
 		os.Exit(1)
+	}
+	if *merge {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "bleaf-bench: -merge requires -o")
+			os.Exit(1)
+		}
+		if err := mergePrevious(*out, entries); err != nil {
+			fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
+			os.Exit(1)
+		}
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -82,6 +99,29 @@ func main() {
 			fmt.Printf("%-48s %14.0f ns/op %8.0f allocs/op (%d runs)\n", n, e.NsOp, e.AllocsOp, e.Runs)
 		}
 	}
+}
+
+// mergePrevious folds entries from an existing record file into the
+// freshly aggregated set. Fresh results win name collisions; a missing
+// file is not an error (first run with -merge behaves like plain -o).
+func mergePrevious(path string, entries map[string]*Entry) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var prev map[string]*Entry
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("existing %s is not a benchmark record: %v", path, err)
+	}
+	for name, e := range prev {
+		if _, ok := entries[name]; !ok {
+			entries[name] = e
+		}
+	}
+	return nil
 }
 
 func aggregate(sc *bufio.Scanner) (map[string]*Entry, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -31,6 +33,59 @@ PASS
 	}
 	if got["BenchmarkStepThreads/threads-4"].NsOp != 900000 {
 		t.Fatalf("threads-4 ns/op wrong: %+v", got["BenchmarkStepThreads/threads-4"])
+	}
+}
+
+func TestMergePreviousKeepsOldAxes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_step.json")
+	old := `{
+  "BenchmarkLagrangianStep-8": {"ns_op": 2600000, "allocs_op": 0, "runs": 5},
+  "BenchmarkStepThreads/threads-4": {"ns_op": 900000, "allocs_op": 0, "runs": 5}
+}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A later bench run re-measures one old name and adds a new axis.
+	entries := map[string]*Entry{
+		"BenchmarkStepThreads/threads-4":           {NsOp: 850000, Runs: 5},
+		"BenchmarkParallelStep/ranks-4/overlap-on": {NsOp: 120000, Runs: 5},
+	}
+	if err := mergePrevious(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3: %v", len(entries), entries)
+	}
+	if e := entries["BenchmarkLagrangianStep-8"]; e == nil || e.NsOp != 2600000 {
+		t.Fatalf("old-only entry lost: %+v", e)
+	}
+	if e := entries["BenchmarkStepThreads/threads-4"]; e == nil || e.NsOp != 850000 {
+		t.Fatalf("re-measured entry not replaced: %+v", e)
+	}
+	if entries["BenchmarkParallelStep/ranks-4/overlap-on"] == nil {
+		t.Fatal("new axis missing")
+	}
+}
+
+func TestMergePreviousMissingFileIsFine(t *testing.T) {
+	entries := map[string]*Entry{"BenchmarkX": {NsOp: 1, Runs: 1}}
+	if err := mergePrevious(filepath.Join(t.TempDir(), "absent.json"), entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries mutated: %v", entries)
+	}
+}
+
+func TestMergePreviousRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergePrevious(path, map[string]*Entry{}); err == nil {
+		t.Fatal("garbage record accepted")
 	}
 }
 

@@ -55,6 +55,7 @@ func run() error {
 		aleFreq     = flag.Int("alefreq", 1, "remap every n steps")
 		hourglass   = flag.String("hourglass", "", "override: none, filter, subzonal")
 		scatterAcc  = flag.Bool("scatteracc", false, "reference serial acceleration scatter (paper-fidelity ablation)")
+		overlap     = flag.Bool("overlap", false, "phased halo exchanges overlapped with interior computation (multi-rank runs)")
 		sedovE      = flag.Float64("sedov-energy", 0, "Sedov blast energy override")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -123,11 +124,16 @@ func run() error {
 			Problem: *problem, NX: *nx, NY: *ny, TEnd: *tend, MaxSteps: *maxSteps,
 			Ranks: *ranks, Threads: *threads, Partitioner: *partitioner,
 			ALE: *aleMode, ALEFreq: *aleFreq, Hourglass: *hourglass,
-			ScatterAcc: *scatterAcc, SedovEnergy: *sedovE,
+			ScatterAcc: *scatterAcc, Overlap: *overlap, SedovEnergy: *sedovE,
 			Checkpoint: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume,
 			RollbackEvery: *rollEvery, RetryBudget: *retryBudget,
 			HistoryEvery: *history,
 		}
+	}
+	// -overlap composes with decks the same way the observability flags
+	// do: setting it on the command line wins over the deck key.
+	if *overlap {
+		cfg.Overlap = true
 	}
 	// Observability flags compose with decks: a flag set on the command
 	// line wins over the deck's [obs] keys.
@@ -277,6 +283,9 @@ func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
 		return cfg, err
 	}
 	cfg.Partitioner = d.String("control", "partitioner", "rcb")
+	if cfg.Overlap, err = d.Bool("control", "overlap", false); err != nil {
+		return cfg, err
+	}
 	cfg.Checkpoint = d.String("control", "checkpoint", "")
 	if cfg.CheckpointEvery, err = d.Int("control", "checkpoint_every", 0); err != nil {
 		return cfg, err

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"bookleaf"
@@ -73,10 +74,16 @@ func TestGoldenMetricsSnapshot(t *testing.T) {
 		t.Fatalf("metrics.json is not valid JSON: %v", err)
 	}
 	// Zero the wall-clock fields; keep the keys so the snapshot still
-	// pins which timers exist.
+	// pins which timers and duration counters exist. Counters ending in
+	// _ns are wall-clock by convention (halo_wait_ns, halo_overlap_ns).
 	m.Meta.WallSeconds = 0
 	for k := range m.Timers {
 		m.Timers[k] = 0
+	}
+	for k := range m.Counters {
+		if strings.HasSuffix(k, "_ns") {
+			m.Counters[k] = 0
+		}
 	}
 	var buf bytes.Buffer
 	if err := obs.WriteMetrics(&buf, &m); err != nil {

@@ -22,6 +22,12 @@ type kernelArgs struct {
 	// u, v are the nodal velocity operands of the force/geom/ein
 	// bodies (U0 in the predictor, UBar in the corrector).
 	u, v []float64
+	// nlo is the node offset of the current move call; the move body
+	// receives chunk-relative ranges and adds it back.
+	nlo int
+	// list is the index-list operand of the band-dispatch bodies used
+	// by the overlapped schedule (see band.go).
+	list []int
 	// floors holds per-chunk floor-energy partials at stride
 	// floorStride (cache-line padded); sized lazily to the pool width.
 	floors []float64
@@ -42,6 +48,10 @@ type kernelBodies struct {
 	move, vol, rho, pc func(lo, hi int)
 	ein                func(chunk, lo, hi int)
 	cfl, div           func(e int) float64
+	// List-dispatch twins of acc/vol/rho/pc/ein for the overlapped
+	// schedule's interior/boundary bands (see band.go).
+	accList, volList, rhoList, pcList func(lo, hi int)
+	einList                           func(chunk, lo, hi int)
 }
 
 // bindKernels creates the pre-bound kernel bodies. Called once from
@@ -75,6 +85,11 @@ func (s *State) bindKernels() {
 	s.kb.rho = s.rhoBody
 	s.kb.pc = s.pcBody
 	s.kb.ein = s.einBody
+	s.kb.accList = s.accListBody
+	s.kb.volList = s.volListBody
+	s.kb.rhoList = s.rhoListBody
+	s.kb.pcList = s.pcListBody
+	s.kb.einList = s.einListBody
 }
 
 // DtCause identifies which condition controlled the last GetDt result
@@ -480,11 +495,17 @@ func (s *State) applyAccel(n int, fx, fy, dt float64) {
 func (s *State) GetGeom(dt float64, uArr, vArr []float64, lo, hi int) error {
 	s.ka.dt = dt
 	s.ka.u, s.ka.v = uArr, vArr
+	s.ka.nlo = 0
 	s.Pool.For(s.Mesh.NNd, s.kb.move)
 	s.ka.lo = lo
 	s.Pool.For(hi-lo, s.kb.vol)
-	// Serial scan so the first (lowest-index) tangled element is
-	// reported deterministically.
+	return s.scanTangled(lo, hi)
+}
+
+// scanTangled checks elements [lo, hi) for inversion. The scan is
+// serial and ascending so the first (lowest-index) tangled element is
+// reported deterministically regardless of thread count or schedule.
+func (s *State) scanTangled(lo, hi int) error {
 	for e := lo; e < hi; e++ {
 		if s.Vol[e] <= 0 {
 			return &ErrTangled{Element: e, Volume: s.Vol[e]}
@@ -496,7 +517,8 @@ func (s *State) GetGeom(dt float64, uArr, vArr []float64, lo, hi int) error {
 func (s *State) moveBody(plo, phi int) {
 	dt := s.ka.dt
 	uArr, vArr := s.ka.u, s.ka.v
-	for n := plo; n < phi; n++ {
+	nlo := s.ka.nlo
+	for n := nlo + plo; n < nlo+phi; n++ {
 		s.X[n] = s.X0[n] + dt*uArr[n]
 		s.Y[n] = s.Y0[n] + dt*vArr[n]
 	}

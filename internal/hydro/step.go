@@ -22,6 +22,30 @@ type Hooks struct {
 	// ExchangeVelocities refreshes ghost-node U, V, UBar, VBar after
 	// the acceleration update.
 	ExchangeVelocities func(s *State)
+
+	// Phased variants for the overlapped schedule: StartForces posts
+	// the ghost corner-force sends and FinishForces drains the matching
+	// receives; the velocity pair does the same for ghost nodal
+	// kinematics. When all four are set (plus Band), Step overlaps each
+	// exchange with the interior portion of the dependent kernels
+	// instead of calling the blocking pair above. A Start must always
+	// be balanced by its Finish in the same step.
+	StartForces      func(s *State)
+	FinishForces     func(s *State)
+	StartVelocities  func(s *State)
+	FinishVelocities func(s *State)
+	// Band is the interior/boundary split the overlapped schedule
+	// dispatches over, computed once per partition by
+	// mesh.BoundaryBand.
+	Band *mesh.Band
+}
+
+// overlapped reports whether the phased-exchange schedule is fully
+// wired. Safe on a nil receiver.
+func (h *Hooks) overlapped() bool {
+	return h != nil && h.Band != nil &&
+		h.StartForces != nil && h.FinishForces != nil &&
+		h.StartVelocities != nil && h.FinishVelocities != nil
 }
 
 // Kernel timer names, matching the paper's Table II breakdown.
@@ -103,7 +127,30 @@ func (s *State) Step(tm *timers.Set, hooks *Hooks) (float64, error) {
 	tm.Stop(TimerGetPC)
 
 	// --- Corrector: forces from the half-step state, acceleration,
-	// time-centred geometry and energy.
+	// time-centred geometry and energy. The overlapped schedule hides
+	// each halo exchange behind the interior portion of the dependent
+	// kernels; both schedules produce bitwise-identical fields (see
+	// DESIGN.md §10).
+	if hooks.overlapped() {
+		err = s.correctorOverlap(tm, hooks, dt)
+	} else {
+		err = s.correctorSync(tm, hooks, dt)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	s.Time += dt
+	s.DtPrev = dt
+	s.StepCount++
+	return dt, nil
+}
+
+// correctorSync is the reference corrector: blocking halo exchanges at
+// the paper's two communication points.
+func (s *State) correctorSync(tm *timers.Set, hooks *Hooks, dt float64) error {
+	nel := s.Mesh.NOwnEl
+
 	tm.Start(TimerGetQ)
 	s.GetQ(0, nel)
 	tm.Stop(TimerGetQ)
@@ -130,10 +177,10 @@ func (s *State) Step(tm *timers.Set, hooks *Hooks) (float64, error) {
 	}
 
 	tm.Start(TimerGetGeom)
-	err = s.GetGeom(dt, s.UBar, s.VBar, 0, nel)
+	err := s.GetGeom(dt, s.UBar, s.VBar, 0, nel)
 	tm.Stop(TimerGetGeom)
 	if err != nil {
-		return 0, err
+		return err
 	}
 
 	tm.Start(TimerGetRho)
@@ -147,11 +194,102 @@ func (s *State) Step(tm *timers.Set, hooks *Hooks) (float64, error) {
 	tm.Start(TimerGetPC)
 	s.GetPC(0, nel)
 	tm.Stop(TimerGetPC)
+	return nil
+}
 
-	s.Time += dt
-	s.DtPrev = dt
-	s.StepCount++
-	return dt, nil
+// correctorOverlap runs the corrector with phased halo exchanges
+// hidden behind interior work. Correctness rests on two disjointness
+// facts: interior nodes (Band.IntNds) read no ghost corner force, and
+// interior elements (Band.IntEls) read no ghost node — so the interior
+// kernels touch nothing an in-flight exchange will write. Within each
+// kernel the per-entity updates are pure, so splitting the owned range
+// into two band passes reproduces the synchronous values bit for bit.
+// The tangle scan runs over the full owned range, ascending, after
+// both volume passes, so the reported element matches the synchronous
+// schedule; the floor-energy total is only committed once the scan
+// passes, matching the synchronous failure semantics.
+func (s *State) correctorOverlap(tm *timers.Set, hooks *Hooks, dt float64) error {
+	m := s.Mesh
+	nel := m.NOwnEl
+	b := hooks.Band
+
+	tm.Start(TimerGetQ)
+	s.GetQ(0, nel)
+	tm.Stop(TimerGetQ)
+
+	tm.Start(TimerGetForce)
+	s.GetForce(0, nel, s.U0, s.V0)
+	tm.Stop(TimerGetForce)
+
+	// Ghost corner forces travel while interior nodes accelerate.
+	tm.Start(TimerComms)
+	hooks.StartForces(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerGetAcc)
+	s.GetAccList(b.IntNds, dt)
+	tm.Stop(TimerGetAcc)
+
+	tm.Start(TimerComms)
+	hooks.FinishForces(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerGetAcc)
+	s.GetAccList(b.BndNds, dt)
+	tm.Stop(TimerGetAcc)
+	// pistonWork reads ghost corner forces, so it must follow
+	// FinishForces (it does in the synchronous schedule too).
+	s.ExternalWork += -dt * s.pistonWork()
+
+	// Ghost velocities travel while owned nodes move and interior
+	// elements update geometry, density, energy and EOS.
+	tm.Start(TimerComms)
+	hooks.StartVelocities(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerGetGeom)
+	s.MoveNodes(dt, s.UBar, s.VBar, 0, m.NOwnNd)
+	s.VolList(b.IntEls)
+	tm.Stop(TimerGetGeom)
+
+	tm.Start(TimerGetRho)
+	s.RhoList(b.IntEls)
+	tm.Stop(TimerGetRho)
+
+	tm.Start(TimerGetEin)
+	fl := s.EinList(dt, s.UBar, s.VBar, b.IntEls)
+	tm.Stop(TimerGetEin)
+
+	tm.Start(TimerGetPC)
+	s.PCList(b.IntEls)
+	tm.Stop(TimerGetPC)
+
+	tm.Start(TimerComms)
+	hooks.FinishVelocities(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerGetGeom)
+	s.MoveNodes(dt, s.UBar, s.VBar, m.NOwnNd, m.NNd)
+	s.VolList(b.BndEls)
+	err := s.scanTangled(0, nel)
+	tm.Stop(TimerGetGeom)
+	if err != nil {
+		return err
+	}
+
+	tm.Start(TimerGetRho)
+	s.RhoList(b.BndEls)
+	tm.Stop(TimerGetRho)
+
+	tm.Start(TimerGetEin)
+	fl += s.EinList(dt, s.UBar, s.VBar, b.BndEls)
+	tm.Stop(TimerGetEin)
+	s.FloorEnergy += fl
+
+	tm.Start(TimerGetPC)
+	s.PCList(b.BndEls)
+	tm.Stop(TimerGetPC)
+	return nil
 }
 
 // pistonWork returns the rate of work the gas does on prescribed-

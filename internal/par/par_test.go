@@ -186,12 +186,12 @@ func TestWorkersPersistAcrossRegions(t *testing.T) {
 	p := New(4)
 	defer p.Close()
 	body := func(lo, hi int) {}
-	p.For(100, body) // spawn workers
+	p.For(1024, body) // spawn workers (big enough to beat the chunk threshold)
 	base := runtime.NumGoroutine()
 	for i := 0; i < 200; i++ {
-		p.For(100, body)
-		p.ForChunks(100, func(c, lo, hi int) {})
-		p.ReduceSum(100, func(i int) float64 { return 1 })
+		p.For(1024, body)
+		p.ForChunks(1024, func(c, lo, hi int) {})
+		p.ReduceSum(1024, func(i int) float64 { return 1 })
 	}
 	if got := runtime.NumGoroutine(); got > base {
 		t.Fatalf("goroutine count grew from %d to %d across 600 regions", base, got)
@@ -200,7 +200,7 @@ func TestWorkersPersistAcrossRegions(t *testing.T) {
 
 func TestCloseDegradesToInline(t *testing.T) {
 	p := New(4)
-	p.For(64, func(lo, hi int) {}) // start workers
+	p.For(1024, func(lo, hi int) {}) // start workers
 	p.Close()
 	p.Close() // idempotent
 	calls := 0
@@ -235,7 +235,7 @@ func TestCloseUnstartedPool(t *testing.T) {
 func TestForChunksIndicesMatchChunkRange(t *testing.T) {
 	for _, threads := range []int{2, 3, 8} {
 		p := New(threads)
-		n := 97
+		n := 997
 		seen := make([]bool, p.NumChunks(n))
 		var mu sync.Mutex
 		p.ForChunks(n, func(c, lo, hi int) {
@@ -251,6 +251,35 @@ func TestForChunksIndicesMatchChunkRange(t *testing.T) {
 		for c, ok := range seen {
 			if !ok {
 				t.Fatalf("threads=%d: chunk %d never ran", threads, c)
+			}
+		}
+	}
+}
+
+// TestChunkThresholdNarrowsSmallLoops pins the dispatch-amortisation
+// rule: a loop whose per-chunk share would fall below minChunkIters is
+// split into fewer, fuller chunks — down to one (inline) — while loops
+// at or above the threshold keep the full thread count. The narrowing
+// depends only on (n, Threads), preserving run-to-run reproducibility.
+func TestChunkThresholdNarrowsSmallLoops(t *testing.T) {
+	for _, tc := range []struct{ threads, n, want int }{
+		{4, 100, 1},                     // boundary-band sized: inline
+		{4, 4 * minChunkIters, 4},       // exactly at threshold: full width
+		{4, 4*minChunkIters - 1, 3},     // just under: one fewer chunk
+		{9, 1000, 1000 / minChunkIters}, // narrowed, every chunk >= threshold
+		{1, 5, 1},
+		{8, 8 * minChunkIters, 8},
+	} {
+		if got := New(tc.threads).chunks(tc.n); got != tc.want {
+			t.Errorf("chunks(n=%d, threads=%d) = %d, want %d", tc.n, tc.threads, got, tc.want)
+		}
+	}
+	// Narrowed splits still leave every chunk at or above the threshold.
+	for n := 1; n < 4096; n += 37 {
+		for _, threads := range []int{2, 3, 4, 8} {
+			t2 := New(threads).chunks(n)
+			if t2 > 1 && n/t2 < minChunkIters {
+				t.Fatalf("chunks(n=%d, threads=%d) = %d leaves %d iterations per chunk", n, threads, t2, n/t2)
 			}
 		}
 	}

@@ -1,0 +1,309 @@
+package typhon
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The phased Start/Finish path must behave exactly like the blocking
+// Exchange under every injected fault — including faults that only
+// surface at Finish, after the owner has already spent the in-flight
+// window computing.
+
+// A clean phased exchange delivers the same ghosts as the blocking
+// form, and computation between Start and Finish sees pre-exchange
+// ghost values untouched.
+func TestPhasedExchangeDeliversGhosts(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		pe := r.NewExchange(h, 1, 2)
+		a := []float64{float64(10 + r.ID()), -1}
+		b := []float64{float64(20 + r.ID()), -1}
+		if err := pe.Start(a, b); err != nil {
+			t.Errorf("rank %d start: %v", r.ID(), err)
+			return
+		}
+		// Interior work window: ghost slots still hold the sentinel.
+		if a[1] != -1 || b[1] != -1 {
+			t.Errorf("rank %d: ghosts written before Finish", r.ID())
+		}
+		if err := pe.Finish(); err != nil {
+			t.Errorf("rank %d finish: %v", r.ID(), err)
+			return
+		}
+		if a[1] != float64(10+other) || b[1] != float64(20+other) {
+			t.Errorf("rank %d ghosts = %v, %v", r.ID(), a[1], b[1])
+		}
+	})
+}
+
+// Repeated phased exchanges over one registered pattern must recycle
+// their pack buffers: after a warm-up pass the steady state allocates
+// nothing.
+func TestPhasedExchangeSteadyStateAllocFree(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0, 1}}, map[int][]int{other: {2, 3}})
+		pe := r.NewExchange(h, 4, 2)
+		a := make([]float64, 16)
+		b := make([]float64, 16)
+		exchange := func() {
+			if err := pe.Start(a, b); err != nil {
+				t.Errorf("rank %d start: %v", r.ID(), err)
+			}
+			if err := pe.Finish(); err != nil {
+				t.Errorf("rank %d finish: %v", r.ID(), err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			exchange() // saturate the return-channel pool
+		}
+		if r.ID() == 0 {
+			// AllocsPerRun pins the whole process's allocations; rank 1
+			// only echoes, so measuring on rank 0 covers both ends.
+			allocs := testing.AllocsPerRun(50, exchange)
+			if allocs != 0 {
+				t.Errorf("steady-state phased exchange allocates %v times per run", allocs)
+			}
+		} else {
+			for i := 0; i < 51; i++ { // AllocsPerRun runs 1 warm-up + 50 measured
+				exchange()
+			}
+		}
+	})
+}
+
+// The blocking Exchange wrapper rides the same recycled-buffer path.
+func TestBlockingExchangeSteadyStateAllocFree(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		field := make([]float64, 8)
+		exchange := func() {
+			if err := r.Exchange(h, 4, field); err != nil {
+				t.Errorf("rank %d: %v", r.ID(), err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			exchange()
+		}
+		if r.ID() == 0 {
+			allocs := testing.AllocsPerRun(50, exchange)
+			if allocs != 0 {
+				t.Errorf("steady-state blocking exchange allocates %v times per run", allocs)
+			}
+		} else {
+			for i := 0; i < 51; i++ { // AllocsPerRun runs 1 warm-up + 50 measured
+				exchange()
+			}
+		}
+	})
+}
+
+// A truncated message injected into the phased path must surface at
+// Finish as the same *SizeMismatchError the blocking path reports —
+// after the receiving rank has already done its interior work.
+func TestPhasedTruncatedMessageSurfacesAtFinish(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultTruncate}}})
+	errs := make([]error, 2)
+	interior := make([]float64, 2)
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		pe := r.NewExchange(h, 1, 1)
+		field := []float64{float64(r.ID()), -1}
+		if err := pe.Start(field); err != nil {
+			errs[r.ID()] = err
+			return
+		}
+		// Interior work proceeds obliviously while the fault is in
+		// flight; only Finish may report it.
+		interior[r.ID()] = field[0] * 2
+		errs[r.ID()] = pe.Finish()
+	})
+	var sm *SizeMismatchError
+	if !errors.As(errs[1], &sm) {
+		t.Fatalf("rank 1 error = %v, want *SizeMismatchError", errs[1])
+	}
+	if sm.From != 0 || sm.Got != 0 || sm.Want != 1 {
+		t.Fatalf("mismatch detail = %+v", sm)
+	}
+	if interior[1] != 2 {
+		t.Fatalf("rank 1 interior work = %v, want 2 (must run before the fault surfaces)", interior[1])
+	}
+	if c.Aborted() == nil {
+		t.Fatal("size mismatch did not poison the communicator")
+	}
+}
+
+// A dropped message leaves Finish blocked until the receive timeout
+// aborts the communicator, matching the blocking path's semantics.
+func TestPhasedDroppedMessageTimesOutAtFinish(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultDrop}}})
+	c.SetRecvTimeout(50 * time.Millisecond)
+	errs := make([]error, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(func(r *Rank) {
+			other := 1 - r.ID()
+			h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+			pe := r.NewExchange(h, 1, 1)
+			field := []float64{float64(r.ID()), -1}
+			if err := pe.Start(field); err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			errs[r.ID()] = pe.Finish()
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("dropped message deadlocked the phased exchange")
+	}
+	var te *TimeoutError
+	if !errors.As(errs[1], &te) {
+		t.Fatalf("rank 1 error = %v, want *TimeoutError", errs[1])
+	}
+	if errs[0] != nil && !errors.Is(errs[0], ErrAborted) {
+		t.Fatalf("rank 0 error = %v", errs[0])
+	}
+}
+
+// A corrupted message still delivers NaN through the phased path, and
+// the corrupted (fully overwritten) buffer re-enters the recycle pool
+// without contaminating later exchanges.
+func TestPhasedCorruptedMessageDeliversNaNThenHeals(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultCorrupt}}})
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		pe := r.NewExchange(h, 1, 1)
+		field := []float64{float64(r.ID() + 1), -1}
+		if err := pe.Start(field); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if err := pe.Finish(); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if r.ID() == 1 && !math.IsNaN(field[1]) {
+			t.Errorf("rank 1 ghost = %v, want NaN from corrupted message", field[1])
+		}
+		// Second exchange reuses the recycled buffers; the corruption
+		// must not leak through the repack.
+		field[0] = float64(r.ID() + 5)
+		field[1] = -1
+		if err := pe.Start(field); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if err := pe.Finish(); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if want := float64(other + 5); field[1] != want {
+			t.Errorf("rank %d ghost after heal = %v, want %v", r.ID(), field[1], want)
+		}
+	})
+}
+
+// A delayed message keeps Finish blocked until it arrives, intact.
+func TestPhasedDelayedMessageArrivesAtFinish(t *testing.T) {
+	c, _ := NewComm(2)
+	c.InjectFaults(&FaultPlan{Faults: []Fault{{Rank: 0, Msg: 1, Kind: FaultDelay, Delay: 30 * time.Millisecond}}})
+	start := time.Now()
+	c.Run(func(r *Rank) {
+		other := 1 - r.ID()
+		h := NewHalo(map[int][]int{other: {0}}, map[int][]int{other: {1}})
+		pe := r.NewExchange(h, 1, 1)
+		field := []float64{float64(r.ID() + 1), -1}
+		if err := pe.Start(field); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if err := pe.Finish(); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if r.ID() == 1 && field[1] != 1 {
+			t.Errorf("rank 1 ghost = %v, want 1", field[1])
+		}
+	})
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("delay fault did not delay")
+	}
+}
+
+// Start with the wrong field count, double Start, and Finish without
+// Start are programming errors and must panic.
+func TestPhasedExchangeMisusePanics(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		h := NewHalo(map[int][]int{}, map[int][]int{})
+		pe := r.NewExchange(h, 1, 2)
+		mustPanic := func(name string, f func()) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}
+		mustPanic("wrong field count", func() { _ = pe.Start([]float64{1}) })
+		mustPanic("finish before start", func() { _ = pe.Finish() })
+		a, b := []float64{1}, []float64{2}
+		if err := pe.Start(a, b); err != nil {
+			t.Fatal(err)
+		}
+		mustPanic("double start", func() { _ = pe.Start(a, b) })
+		if err := pe.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// sendOrder/recvOrder must come out ascending no matter how the
+// neighbour maps were populated — the property the deterministic wire
+// schedule (and with it bitwise reproducibility) rests on.
+func TestHaloOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		nbrs := rng.Perm(16)[:4+rng.Intn(8)]
+		sendTo := map[int][]int{}
+		recvFrom := map[int][]int{}
+		for _, nb := range nbrs {
+			sendTo[nb] = []int{0}
+			recvFrom[nb] = []int{1}
+		}
+		h := NewHalo(sendTo, recvFrom)
+		for i := 1; i < len(h.sendOrder); i++ {
+			if h.sendOrder[i-1] >= h.sendOrder[i] {
+				t.Fatalf("trial %d: sendOrder not strictly ascending: %v", trial, h.sendOrder)
+			}
+		}
+		for i := 1; i < len(h.recvOrder); i++ {
+			if h.recvOrder[i-1] >= h.recvOrder[i] {
+				t.Fatalf("trial %d: recvOrder not strictly ascending: %v", trial, h.recvOrder)
+			}
+		}
+		if len(h.sendOrder) != len(nbrs) || len(h.recvOrder) != len(nbrs) {
+			t.Fatalf("trial %d: order length mismatch", trial)
+		}
+	}
+}

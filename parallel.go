@@ -198,6 +198,12 @@ func runParallel(cfg Config) (*Result, error) {
 		forcesPh := phaseCtrs{reg.Counter("halo_msgs_forces"), reg.Counter("halo_words_forces")}
 		velPh := phaseCtrs{reg.Counter("halo_msgs_velocities"), reg.Counter("halo_words_velocities")}
 		remapPh := phaseCtrs{reg.Counter("halo_msgs_remap"), reg.Counter("halo_words_remap")}
+		// halo_wait_ns is time spent blocked on halo traffic;
+		// halo_overlap_ns is the in-flight window the phased schedule
+		// hides behind interior work (always zero on the synchronous
+		// schedule). Together they make the hidden communication time
+		// visible in metrics.json and bleaf-trace.
+		ctrWait := reg.Counter("halo_wait_ns")
 
 		// commErr latches the first communication failure on this rank;
 		// all later exchanges no-op so the rank drains to the next
@@ -208,9 +214,13 @@ func runParallel(cfg Config) (*Result, error) {
 				return
 			}
 			m0, w0 := msgsTotal.Value(), wordsTotal.Value()
+			t0 := time.Now()
 			if err := rk.Exchange(h, stride, fields...); err != nil {
 				commErr = err
 			}
+			d := time.Since(t0)
+			ctrWait.Add(d.Nanoseconds())
+			tracer.Span("halo_wait", t0, d)
 			ph.msgs.Add(msgsTotal.Value() - m0)
 			ph.words.Add(wordsTotal.Value() - w0)
 		}
@@ -265,6 +275,63 @@ func runParallel(cfg Config) (*Result, error) {
 				hooksDone++
 				exch(velPh, ndHalo, 1, st.U, st.V, st.UBar, st.VBar)
 			},
+		}
+		if cfg.Overlap {
+			// Phased schedule: the same two exchanges, split into
+			// Start/Finish around the interior kernels. Start counts
+			// toward hooksDone (all sends are posted there), and every
+			// Start is balanced by its Finish within the same Step call,
+			// so the compensation protocol below is unchanged. A Start
+			// that fails leaves nothing pending; its Finish no-ops.
+			ctrOverlap := reg.Counter("halo_overlap_ns")
+			peF := rk.NewExchange(elHalo, 4, 2)
+			peV := rk.NewExchange(ndHalo, 1, 4)
+			var pendF, pendV bool
+			var startF, startV time.Time
+			startEx := func(ph phaseCtrs, pe *typhon.PendingExchange, pending *bool, at *time.Time, fields ...[]float64) {
+				if commErr != nil {
+					return
+				}
+				m0, w0 := msgsTotal.Value(), wordsTotal.Value()
+				if err := pe.Start(fields...); err != nil {
+					commErr = err
+				} else {
+					*pending = true
+					*at = time.Now()
+				}
+				ph.msgs.Add(msgsTotal.Value() - m0)
+				ph.words.Add(wordsTotal.Value() - w0)
+			}
+			finishEx := func(pe *typhon.PendingExchange, pending *bool, at *time.Time) {
+				if !*pending {
+					return
+				}
+				*pending = false
+				t1 := time.Now()
+				ctrOverlap.Add(t1.Sub(*at).Nanoseconds())
+				tracer.Span("halo_overlap", *at, t1.Sub(*at))
+				if err := pe.Finish(); err != nil {
+					commErr = err
+				}
+				d := time.Since(t1)
+				ctrWait.Add(d.Nanoseconds())
+				tracer.Span("halo_wait", t1, d)
+			}
+			hooks.Band = lm.BoundaryBand()
+			hooks.StartForces = func(st *hydro.State) {
+				hooksDone++
+				startEx(forcesPh, peF, &pendF, &startF, st.FX, st.FY)
+			}
+			hooks.FinishForces = func(st *hydro.State) {
+				finishEx(peF, &pendF, &startF)
+			}
+			hooks.StartVelocities = func(st *hydro.State) {
+				hooksDone++
+				startEx(velPh, peV, &pendV, &startV, st.U, st.V, st.UBar, st.VBar)
+			}
+			hooks.FinishVelocities = func(st *hydro.State) {
+				finishEx(peV, &pendV, &startV)
+			}
 		}
 
 		// writeCk gathers every rank's owned entities into the shared
