@@ -13,6 +13,12 @@
 # Start/Finish path and its fault matrix, the overlap-vs-sync bitwise
 # determinism sweep, and the multi-rank zero-allocation pins — the
 # suite that guards the communication/computation overlap feature.
+# tier2-ale races the parallel remap: the ale package's kernel suite
+# (CSR round-trip, smoothed rank-independence, zero-alloc pins at
+# several pool sizes) plus the driver-level Threads x Ranks x Mode
+# sweep — the seed-fidelity thread sweep, the overlap-vs-sync ALE
+# bitwise check, the smoothed rank cross-check and the
+# rollback-across-remap lockstep regression.
 # tier2-race runs the FULL tier-1 suite under the race detector at a
 # starved and an oversubscribed scheduler — the whole-program
 # complement to tier2-fault's targeted matrix, catching races in code
@@ -26,7 +32,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-race test bench bench-all fuzz clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-race test bench bench-all fuzz clean
 
 all: build
 
@@ -55,11 +61,15 @@ tier2-overlap:
 	$(GO) test -race ./internal/typhon -run 'Phased|HaloOrder|Exchange' -count=1
 	$(GO) test -race . -run 'Overlap|ParallelStepZeroAllocs' -count=1
 
+tier2-ale:
+	$(GO) test -race ./internal/ale -count=1
+	$(GO) test -race . -run 'RemapSeedFixture|OverlapBitwiseDeterminismWithALE|SmoothedALERankIndependent|RollbackAcrossRemapStep|ParallelFailureWithRemap' -count=1
+
 tier2-race:
 	GOMAXPROCS=1 $(GO) test -race ./... -count=1
 	GOMAXPROCS=8 $(GO) test -race ./... -count=1
 
-test: tier1 tier2-fault tier2-par tier2-overlap tier2-race
+test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-race
 
 # Native fuzzing for the deck parser (seed corpus: decks/ plus the
 # regression inputs under internal/config/testdata/fuzz).

@@ -20,6 +20,7 @@ import (
 	"bookleaf/internal/ale"
 	"bookleaf/internal/hydro"
 	"bookleaf/internal/machine"
+	"bookleaf/internal/par"
 	"bookleaf/internal/partition"
 	"bookleaf/internal/setup"
 	"bookleaf/internal/timers"
@@ -190,32 +191,53 @@ func BenchmarkLagrangianStep(b *testing.B) {
 	}
 }
 
+// BenchmarkRemap records the remap cost across the target-mesh mode and
+// the intra-rank thread count (BENCH_step.json via make bench). Each
+// iteration times one Apply on a freshly stepped state, so the remap
+// sees real fluxes; the interleaved step runs off the clock.
 func BenchmarkRemap(b *testing.B) {
-	p, err := setup.Sod(128, 8)
-	if err != nil {
-		b.Fatal(err)
-	}
-	s, err := p.NewState()
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < 5; i++ {
-		if _, err := s.Step(nil, nil); err != nil {
-			b.Fatal(err)
+	for _, mode := range []struct {
+		name string
+		opt  ale.Options
+	}{
+		{"eulerian", ale.DefaultOptions()},
+		{"smoothed", ale.Options{Mode: ale.Smoothed, SmoothWeight: 0.5}},
+	} {
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("mode-%s/threads-%d", mode.name, threads), func(b *testing.B) {
+				p, err := setup.Sod(128, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := p.NewState()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if threads > 1 {
+					s.Pool = par.New(threads)
+					defer s.Pool.Close()
+				}
+				for i := 0; i < 5; i++ {
+					if _, err := s.Step(nil, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				r := ale.NewRemapper(mode.opt, s)
+				b.ReportMetric(float64(s.Mesh.NEl), "elements")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := r.Apply(s, nil, nil); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if _, err := s.Step(nil, nil); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
 		}
-	}
-	r := ale.NewRemapper(ale.DefaultOptions(), s)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := r.Apply(s, nil, nil); err != nil {
-			b.Fatal(err)
-		}
-		b.StopTimer()
-		if _, err := s.Step(nil, nil); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
 	}
 }
 

@@ -184,9 +184,6 @@ func (c *Config) normalise() error {
 	default:
 		return fmt.Errorf("bookleaf: unknown partitioner %q", c.Partitioner)
 	}
-	if c.ALE == "smoothed" && c.Ranks > 1 {
-		return fmt.Errorf("bookleaf: smoothed ALE is serial-only (ghost smoothing stencils are incomplete)")
-	}
 	if c.Overlap && c.ScatterAcc {
 		return fmt.Errorf("bookleaf: Overlap requires the gather acceleration (ScatterAcc sweeps all elements at once and has no interior/boundary split)")
 	}
@@ -583,6 +580,14 @@ func runSerial(cfg Config) (*Result, error) {
 	res.ExternalWork = s.ExternalWork
 	res.FloorEnergy = s.FloorEnergy
 	res.MassFinal = s.TotalMass()
+	if remap != nil {
+		// ALESTEP phase breakdown as counters, mirroring the parallel
+		// driver's per-rank publication.
+		reg.Counter("ale_getmesh_ns").Add(tm.Elapsed("alegetmesh").Nanoseconds())
+		reg.Counter("ale_getfvol_ns").Add(tm.Elapsed("alegetfvol").Nanoseconds())
+		reg.Counter("ale_advect_ns").Add(tm.Elapsed("aleadvect").Nanoseconds())
+		reg.Counter("ale_update_ns").Add(tm.Elapsed("aleupdate").Nanoseconds())
+	}
 	res.Obs = reg.Snapshot()
 	if probe != nil {
 		res.Probes = probe.Records

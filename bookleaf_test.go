@@ -261,7 +261,6 @@ func TestConfigValidation(t *testing.T) {
 		{Problem: "sod", NX: 4, NY: 4, Hourglass: "weird"},
 		{Problem: "sod", NX: 4, NY: 4, Partitioner: "weird"},
 		{Problem: "sod", NX: 4, NY: 4, Ranks: -1},
-		{Problem: "sod", NX: 8, NY: 8, ALE: "smoothed", Ranks: 2},
 	}
 	for _, cfg := range cases {
 		if _, err := bookleaf.Run(cfg); err == nil {

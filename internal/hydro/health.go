@@ -73,16 +73,23 @@ func (s *State) CheckFinite() error {
 
 // Retryable reports whether err is a failure the driver may attempt to
 // recover from by rolling back to an earlier snapshot and retrying with
-// a reduced timestep: a timestep collapse, a tangled element, or a
-// non-finite field. Communication faults and setup errors are not
-// retryable.
+// a reduced timestep: a timestep collapse, a tangled element, a
+// non-finite field, or any error that classifies itself as transient
+// via a Transient() method (the ALE remap's flux-overshoot failure,
+// which shrinks with the timestep, reports that way — hydro cannot
+// name the type without an import cycle). Communication faults and
+// setup errors are not retryable.
 func Retryable(err error) bool {
 	var (
 		dc *ErrDtCollapse
 		tg *ErrTangled
 		nf *ErrNonFinite
 	)
-	return errors.As(err, &dc) || errors.As(err, &tg) || errors.As(err, &nf)
+	if errors.As(err, &dc) || errors.As(err, &tg) || errors.As(err, &nf) {
+		return true
+	}
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
 }
 
 // Memento is an in-memory copy of the evolving fields of a State —

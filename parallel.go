@@ -233,6 +233,12 @@ func runParallel(cfg Config) (*Result, error) {
 			ExchangeCellFields: func(fields ...[]float64) {
 				exch(remapPh, elHalo, 1, fields...)
 			},
+			ExchangeNodeFields: func(x, y []float64) {
+				exch(remapPh, ndHalo, 1, x, y)
+			},
+			ExchangeVelocities: func(u, v []float64) {
+				exch(remapPh, ndHalo, 1, u, v)
+			},
 		}
 
 		tm := timers.NewSet()
@@ -331,6 +337,38 @@ func runParallel(cfg Config) (*Result, error) {
 			}
 			hooks.FinishVelocities = func(st *hydro.State) {
 				finishEx(peV, &pendV, &startV)
+			}
+			if remap != nil {
+				// The remap's three exchanges get the same phased
+				// treatment. Apply keeps at most one in flight at a
+				// time and balances every Start with its Finish on
+				// all paths, so the compensation protocol (a failing
+				// rank answering with blocking exchanges) still
+				// pairs up.
+				peRC := rk.NewExchange(elHalo, 1, 6)
+				peRN := rk.NewExchange(ndHalo, 1, 2)
+				peRV := rk.NewExchange(ndHalo, 1, 2)
+				var pendRC, pendRN, pendRV bool
+				var startRC, startRN, startRV time.Time
+				aleHooks.Band = hooks.Band
+				aleHooks.StartCellFields = func(fields ...[]float64) {
+					startEx(remapPh, peRC, &pendRC, &startRC, fields...)
+				}
+				aleHooks.FinishCellFields = func() {
+					finishEx(peRC, &pendRC, &startRC)
+				}
+				aleHooks.StartNodeFields = func(x, y []float64) {
+					startEx(remapPh, peRN, &pendRN, &startRN, x, y)
+				}
+				aleHooks.FinishNodeFields = func() {
+					finishEx(peRN, &pendRN, &startRN)
+				}
+				aleHooks.StartVelocities = func(u, v []float64) {
+					startEx(remapPh, peRV, &pendRV, &startRV, u, v)
+				}
+				aleHooks.FinishVelocities = func() {
+					finishEx(peRV, &pendRV, &startRV)
+				}
 			}
 		}
 
@@ -500,6 +538,14 @@ func runParallel(cfg Config) (*Result, error) {
 				s.Save(&roll)
 			}
 			hooksDone = 0
+			// Step increments StepCount only after every failure
+			// point, so a failed step leaves it unchanged and a
+			// rolled-back step replays with the value it had on the
+			// first attempt. Capturing it here makes the remap-cadence
+			// arithmetic below explicit: a successful step lands on
+			// stepStart+1, which is the count peers consult when they
+			// decide to remap.
+			stepStart := s.StepCount
 			if _, err := s.Step(tm, hooks); err != nil {
 				stepErr = fmt.Errorf("rank %d step %d (t=%v): %w", rk.ID(), s.StepCount, s.Time, err)
 				// Compensate the exchanges peers will still perform
@@ -510,22 +556,22 @@ func runParallel(cfg Config) (*Result, error) {
 				if hooksDone < 2 {
 					exch(velPh, ndHalo, 1, s.U, s.V, s.UBar, s.VBar)
 				}
-				// Peers that completed the step will also run the
-				// remap exchange (their StepCount is one ahead).
-				if remap != nil && (s.StepCount+1)%cfg.ALEFreq == 0 {
-					remap.ExchangeScratch(aleHooks)
-					exch(remapPh, ndHalo, 1, s.U, s.V)
+				// Peers that completed the step sit at stepStart+1 and
+				// remap when that count hits the cadence; answer their
+				// full exchange sequence (node targets, cell fields,
+				// velocities) with scratch values — a collective
+				// rollback follows, so only the pattern matters.
+				if remap != nil && (stepStart+1)%cfg.ALEFreq == 0 {
+					remap.ExchangeScratch(s, aleHooks)
 				}
 				continue
 			}
 			if remap != nil && s.StepCount%cfg.ALEFreq == 0 {
 				tm.Start(hydro.TimerALE)
+				// Apply owns the remap's halo exchanges, including the
+				// post-remap ghost-velocity refresh, which it performs
+				// on every path — even failures — so peers don't block.
 				err := remap.Apply(s, tm, aleHooks)
-				// Ghost velocities changed by the remap on owner
-				// ranks: refresh them for the next viscosity
-				// calculation. Performed even on failure so peers
-				// don't block.
-				exch(remapPh, ndHalo, 1, s.U, s.V)
 				tm.Stop(hydro.TimerALE)
 				if err != nil {
 					stepErr = fmt.Errorf("rank %d remap step %d: %w", rk.ID(), s.StepCount, err)
@@ -575,6 +621,15 @@ func runParallel(cfg Config) (*Result, error) {
 			res.V[gn] = s.V[i]
 			res.X[gn] = s.X[i]
 			res.Y[gn] = s.Y[i]
+		}
+		if remap != nil {
+			// Publish the ALESTEP phase breakdown as counters so
+			// metrics.json carries the remap cost split without
+			// consumers having to parse the timer table.
+			reg.Counter("ale_getmesh_ns").Add(tm.Elapsed("alegetmesh").Nanoseconds())
+			reg.Counter("ale_getfvol_ns").Add(tm.Elapsed("alegetfvol").Nanoseconds())
+			reg.Counter("ale_advect_ns").Add(tm.Elapsed("aleadvect").Nanoseconds())
+			reg.Counter("ale_update_ns").Add(tm.Elapsed("aleupdate").Nanoseconds())
 		}
 		rankErrs[rk.ID()] = fatalErr
 		rankTimers[rk.ID()] = tm

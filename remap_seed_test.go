@@ -1,0 +1,123 @@
+package bookleaf_test
+
+// Seed-fidelity fixture for the ALE remap: the parallelised remap
+// pipeline must reproduce, bit for bit, the fields the original serial
+// implementation produced. The fixture (testdata/remap_seed.json) was
+// generated from the pre-parallel remap with -update and is the
+// reference every thread count is compared against — regenerating it
+// is only legitimate when the remap arithmetic is changed on purpose.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"bookleaf"
+)
+
+// remapSeedGrid is the acceptance sweep: both problems, both target
+// modes, sparse and every-step remap cadence.
+func remapSeedGrid() []bookleaf.Config {
+	var grid []bookleaf.Config
+	for _, pb := range []struct {
+		problem string
+		nx, ny  int
+	}{{"noh", 12, 12}, {"sod", 32, 4}} {
+		for _, mode := range []string{"eulerian", "smoothed"} {
+			for _, freq := range []int{1, 5} {
+				grid = append(grid, bookleaf.Config{
+					Problem: pb.problem, NX: pb.nx, NY: pb.ny,
+					MaxSteps: 20, ALE: mode, ALEFreq: freq,
+				})
+			}
+		}
+	}
+	return grid
+}
+
+func remapSeedName(cfg bookleaf.Config) string {
+	return fmt.Sprintf("%s-%s-freq%d", cfg.Problem, cfg.ALE, cfg.ALEFreq)
+}
+
+// fieldHash digests the run's final fields as raw IEEE-754 bits, so a
+// single flipped bit anywhere in any field changes the hash.
+func fieldHash(res *bookleaf.Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(fields ...[]float64) {
+		for _, f := range fields {
+			for _, v := range f {
+				bits := math.Float64bits(v)
+				for i := 0; i < 8; i++ {
+					buf[i] = byte(bits >> (8 * i))
+				}
+				h.Write(buf[:])
+			}
+		}
+	}
+	put(res.Rho, res.Ein, res.P, res.U, res.V, res.X, res.Y)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestRemapSeedFixture pins the serial remap result (and the threaded
+// remap at 2, 4 and 7 workers, which must match it bitwise) against the
+// recorded seed hashes.
+func TestRemapSeedFixture(t *testing.T) {
+	path := filepath.Join("testdata", "remap_seed.json")
+	got := map[string]string{}
+	for _, cfg := range remapSeedGrid() {
+		name := remapSeedName(cfg)
+		base := run(t, cfg)
+		got[name] = fieldHash(base)
+		for _, threads := range []int{2, 4, 7} {
+			tcfg := cfg
+			tcfg.Threads = threads
+			res := run(t, tcfg)
+			if h := fieldHash(res); h != got[name] {
+				t.Errorf("%s: threads=%d hash %s differs from threads=1 %s", name, threads, h, got[name])
+			}
+		}
+	}
+	if *update {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing seed fixture (run with -update to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for n := range want {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if got[n] == "" {
+			t.Errorf("%s: in fixture but not in grid", n)
+			continue
+		}
+		if got[n] != want[n] {
+			t.Errorf("%s: hash %s, seed fixture %s (remap arithmetic drifted from the serial seed)", n, got[n], want[n])
+		}
+	}
+	for n := range got {
+		if _, ok := want[n]; !ok {
+			t.Errorf("%s: not in fixture (rerun with -update)", n)
+		}
+	}
+}
