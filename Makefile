@@ -19,6 +19,12 @@
 # sweep — the seed-fidelity thread sweep, the overlap-vs-sync ALE
 # bitwise check, the smoothed rank cross-check and the
 # rollback-across-remap lockstep regression.
+# tier2-supervise races the rank-supervision layer: the supervise
+# package's ladder/backoff/imbalance unit suite plus the end-to-end
+# fault-class x ranks {2,4,7} x overlap sweep — replacement from the
+# in-memory Memento, transient epoch retry, ladder exhaustion with a
+# final checkpoint, and online elastic repartitioning (grow, shrink
+# and same-count re-decomposition of the moved mesh).
 # tier2-race runs the FULL tier-1 suite under the race detector at a
 # starved and an oversubscribed scheduler — the whole-program
 # complement to tier2-fault's targeted matrix, catching races in code
@@ -32,7 +38,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-race test bench bench-all fuzz clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-race test bench bench-all fuzz clean
 
 all: build
 
@@ -65,11 +71,15 @@ tier2-ale:
 	$(GO) test -race ./internal/ale -count=1
 	$(GO) test -race . -run 'RemapSeedFixture|OverlapBitwiseDeterminismWithALE|SmoothedALERankIndependent|RollbackAcrossRemapStep|ParallelFailureWithRemap' -count=1
 
+tier2-supervise:
+	$(GO) test -race ./internal/supervise -count=1
+	$(GO) test -race . -run 'Supervise' -count=1
+
 tier2-race:
 	GOMAXPROCS=1 $(GO) test -race ./... -count=1
 	GOMAXPROCS=8 $(GO) test -race ./... -count=1
 
-test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-race
+test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-race
 
 # Native fuzzing for the deck parser (seed corpus: decks/ plus the
 # regression inputs under internal/config/testdata/fuzz).

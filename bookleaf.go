@@ -35,6 +35,7 @@ import (
 	"bookleaf/internal/obs"
 	"bookleaf/internal/par"
 	"bookleaf/internal/setup"
+	"bookleaf/internal/supervise"
 	"bookleaf/internal/timers"
 	"bookleaf/internal/typhon"
 )
@@ -138,6 +139,14 @@ type Config struct {
 	// (0 selects obs.DefaultMaxDriftPerStep).
 	ProbeMaxDrift float64
 
+	// Supervise configures the rank-supervision layer: the graded
+	// recovery ladder (retry / replace / checkpoint-then-abort), online
+	// elastic repartitioning, and the previously compile-time receive
+	// timeout and dt-backoff knobs. nil keeps every default and leaves
+	// the ladder off, which reproduces the pre-supervision behaviour
+	// exactly.
+	Supervise *SuperviseConfig
+
 	// testDtMin overrides the minimum-timestep abort threshold; used
 	// by failure-injection tests.
 	testDtMin float64
@@ -188,6 +197,114 @@ func (c *Config) normalise() error {
 		return fmt.Errorf("bookleaf: Overlap requires the gather acceleration (ScatterAcc sweeps all elements at once and has no interior/boundary split)")
 	}
 	return nil
+}
+
+// SuperviseConfig configures the rank-supervision layer (deck section
+// [supervise]). Like the rest of Config, zero values select defaults;
+// for the budgets, negative disables (the Config idiom RetryBudget
+// already uses).
+type SuperviseConfig struct {
+	// Enabled turns the recovery ladder on for parallel runs: transient
+	// faults retry with backoff, persistent rank-local faults replace
+	// the rank from its last in-memory Memento, fatal faults checkpoint
+	// then abort. Off, any epoch fault is fatal (today's behaviour);
+	// the RecvTimeout and DtBackoff knobs below apply regardless.
+	Enabled bool
+
+	// RetryBudget bounds supervised transient retries (0 = default 2,
+	// negative = none). Distinct from Config.RetryBudget, which bounds
+	// the collective rollback-retries inside an epoch.
+	RetryBudget int
+	// ReplaceBudget bounds rank replacements (0 = default 1, negative =
+	// none).
+	ReplaceBudget int
+	// PersistAfter is the per-rank attributable-fault count at which a
+	// transient classification escalates to rank-persistent (0 =
+	// default 2).
+	PersistAfter int
+
+	// BackoffBase is the first retry's backoff, doubling per retry up
+	// to BackoffMax (0 base = immediate retry, today's behaviour;
+	// 0 max = default 2s). BackoffJitter in [0,1] is the randomised
+	// fraction of each backoff.
+	BackoffBase   time.Duration
+	BackoffMax    time.Duration
+	BackoffJitter float64
+
+	// RecvTimeout bounds every typhon Recv wait (0 = wait forever,
+	// today's behaviour). Required for drop faults to be detected.
+	RecvTimeout time.Duration
+	// DtBackoff is the factor the timestep cap is divided by on each
+	// rollback (0 = default 2, today's compile-time constant).
+	DtBackoff float64
+
+	// RepartCheckEvery is the step cadence of the load-imbalance check
+	// (0 = monitor off); RepartThreshold the max/mean per-rank work
+	// ratio that triggers an online repartition (0 = default 1.5);
+	// RepartMinGap the minimum steps between triggered repartitions
+	// (0 = default 10).
+	RepartCheckEvery int
+	RepartThreshold  float64
+	RepartMinGap     int
+	// RepartAtStep forces one repartition at the given step (0 = none).
+	// RepartRanks, when positive, is the rank count after the next
+	// repartition; RanksMax caps it (0 = no cap).
+	RepartAtStep int
+	RepartRanks  int
+	RanksMax     int
+
+	// Seed seeds the deterministic backoff-jitter generator (0 = 1).
+	Seed uint64
+}
+
+// supervisePolicy resolves Config.Supervise (and the test-only recv
+// timeout) into a validated supervise.Policy.
+func (c *Config) supervisePolicy() (supervise.Policy, error) {
+	pol := supervise.DefaultPolicy()
+	pol.RecvTimeout = c.testRecvTimeout
+	sc := c.Supervise
+	if sc == nil {
+		return pol, nil
+	}
+	resolve := func(v, def int) int {
+		if v < 0 {
+			return 0
+		}
+		if v == 0 {
+			return def
+		}
+		return v
+	}
+	pol.Enabled = sc.Enabled
+	pol.RetryBudget = resolve(sc.RetryBudget, pol.RetryBudget)
+	pol.ReplaceBudget = resolve(sc.ReplaceBudget, pol.ReplaceBudget)
+	pol.PersistAfter = resolve(sc.PersistAfter, pol.PersistAfter)
+	pol.BackoffBase = sc.BackoffBase
+	if sc.BackoffMax != 0 {
+		pol.BackoffMax = sc.BackoffMax
+	}
+	pol.BackoffJitter = sc.BackoffJitter
+	if sc.RecvTimeout != 0 {
+		pol.RecvTimeout = sc.RecvTimeout
+	}
+	if sc.DtBackoff != 0 {
+		pol.DtBackoff = sc.DtBackoff
+	}
+	pol.RepartCheckEvery = sc.RepartCheckEvery
+	if sc.RepartThreshold != 0 {
+		pol.RepartThreshold = sc.RepartThreshold
+	}
+	if sc.RepartMinGap != 0 {
+		pol.RepartMinGap = sc.RepartMinGap
+	}
+	pol.RepartAtStep = sc.RepartAtStep
+	pol.RepartRanks = sc.RepartRanks
+	pol.RanksMax = sc.RanksMax
+	pol.Seed = sc.Seed
+	if err := pol.Validate(); err != nil {
+		return pol, fmt.Errorf("bookleaf: %w", err)
+	}
+	return pol, nil
 }
 
 // rollbackEvery resolves the rolling-snapshot cadence: 0 = default 10,
@@ -284,6 +401,16 @@ type Result struct {
 	// Rollbacks counts the rollback-retries the run spent recovering
 	// from transient failures (zero on a clean run).
 	Rollbacks int
+
+	// Supervision outcomes (zero unless Config.Supervise enabled the
+	// recovery ladder): epoch-level transient retries, rank
+	// replacements, and online repartitions.
+	SupRetries   int
+	Replacements int
+	Repartitions int
+	// FinalRanks is the rank count at the end of the run — it differs
+	// from Ranks after an elastic repartition changed the fleet size.
+	FinalRanks int
 
 	// History holds periodic step records when Config.HistoryEvery is
 	// set.
@@ -407,6 +534,10 @@ func writeSnapshotFile(path string, sn *checkpoint.Snapshot) error {
 }
 
 func runSerial(cfg Config) (*Result, error) {
+	pol, err := cfg.supervisePolicy()
+	if err != nil {
+		return nil, err
+	}
 	p, err := setup.ByName(cfg.Problem, cfg.NX, cfg.NY, cfg.SedovEnergy)
 	if err != nil {
 		return nil, err
@@ -471,7 +602,7 @@ func runSerial(cfg Config) (*Result, error) {
 		},
 	}
 	res := &Result{
-		Problem: p.Name, Ranks: 1, Threads: cfg.Threads,
+		Problem: p.Name, Ranks: 1, FinalRanks: 1, Threads: cfg.Threads,
 		NEl: p.Mesh.NEl, NNd: p.Mesh.NNd,
 		E0: s.TotalEnergy(), Mass0: s.TotalMass(),
 		Mesh: p.Mesh, TEnd: tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
@@ -524,10 +655,11 @@ func runSerial(cfg Config) (*Result, error) {
 				ctrRollbacks.Inc()
 				tracer.Instant("rollback", nil)
 				s.Load(&roll)
-				// Halve the timestep cap below the last dt taken from
-				// the restored point; GetDt will re-grow it via
+				// Back the timestep cap off below the last dt taken
+				// from the restored point (factor [supervise]
+				// dt_backoff, default 2); GetDt will re-grow it via
 				// DtGrowth once steps succeed again.
-				dtCap = math.Min(dtCap, s.DtPrev) / 2
+				dtCap = math.Min(dtCap, s.DtPrev) / pol.DtBackoff
 				continue
 			}
 			return nil, fmt.Errorf("bookleaf: step %d (t=%v): %w", s.StepCount, s.Time, stepErr)

@@ -66,6 +66,12 @@ func run() error {
 		resume      = flag.String("resume", "", "restore a restart dump before running")
 		rollEvery   = flag.Int("rollback-every", 0, "rolling-snapshot cadence for rollback-retry (0 = default 10, negative = off)")
 		retryBudget = flag.Int("retry-budget", 0, "rollback-retries before aborting (0 = default 3, negative = off)")
+		superviseOn = flag.Bool("supervise", false, "enable the rank-supervision ladder (retry / replace / checkpoint-then-abort)")
+		recvTimeout = flag.Duration("recv-timeout", 0, "typhon receive timeout (0 = wait forever)")
+		dtBackoff   = flag.Float64("dt-backoff", 0, "timestep-cap division factor per rollback (0 = default 2)")
+		repartAt    = flag.Int("repart-at", 0, "force one online repartition at this step (0 = off)")
+		repartRanks = flag.Int("repart-ranks", 0, "rank count after the next repartition (0 = keep)")
+		ranksMax    = flag.Int("ranks-max", 0, "cap on the elastic rank count (0 = no cap)")
 		history     = flag.Int("history", 0, "print a step record every n steps")
 		tracePfx    = flag.String("trace", "", "write per-rank Chrome trace files <prefix>.rank<N>.trace.json (merge with bleaf-trace)")
 		metricsOut  = flag.String("metrics", "", "write a machine-readable metrics.json to this file")
@@ -149,6 +155,31 @@ func run() error {
 	if *probeDrift != 0 {
 		cfg.ProbeMaxDrift = *probeDrift
 	}
+	// Supervision flags also compose with the deck's [supervise] keys.
+	if *superviseOn || *recvTimeout != 0 || *dtBackoff != 0 ||
+		*repartAt != 0 || *repartRanks != 0 || *ranksMax != 0 {
+		if cfg.Supervise == nil {
+			cfg.Supervise = &bookleaf.SuperviseConfig{}
+		}
+		if *superviseOn {
+			cfg.Supervise.Enabled = true
+		}
+		if *recvTimeout != 0 {
+			cfg.Supervise.RecvTimeout = *recvTimeout
+		}
+		if *dtBackoff != 0 {
+			cfg.Supervise.DtBackoff = *dtBackoff
+		}
+		if *repartAt != 0 {
+			cfg.Supervise.RepartAtStep = *repartAt
+		}
+		if *repartRanks != 0 {
+			cfg.Supervise.RepartRanks = *repartRanks
+		}
+		if *ranksMax != 0 {
+			cfg.Supervise.RanksMax = *ranksMax
+		}
+	}
 
 	start := time.Now()
 	res, err := bookleaf.Run(cfg)
@@ -167,6 +198,13 @@ func run() error {
 	fmt.Printf("mass       M0=%.8g M=%.8g\n", res.Mass0, res.MassFinal)
 	if res.Rollbacks > 0 {
 		fmt.Printf("rollbacks  %d transient failure(s) recovered\n", res.Rollbacks)
+	}
+	if res.SupRetries > 0 || res.Replacements > 0 || res.Repartitions > 0 {
+		fmt.Printf("supervise  %d retry(ies), %d replacement(s), %d repartition(s)\n",
+			res.SupRetries, res.Replacements, res.Repartitions)
+	}
+	if res.FinalRanks != res.Ranks {
+		fmt.Printf("elastic    finished on %d rank(s) (started on %d)\n", res.FinalRanks, res.Ranks)
 	}
 	if cfg.ProbeEvery > 0 {
 		fmt.Printf("probes     %d sample(s), %d violation(s)\n", len(res.Probes), res.ProbeViolations)
@@ -314,6 +352,60 @@ func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
 	}
 	if cfg.ProbeMaxDrift, err = d.Float("obs", "probe_maxdrift", 0); err != nil {
 		return cfg, err
+	}
+	if d.Has("supervise") {
+		sc := &bookleaf.SuperviseConfig{}
+		if sc.Enabled, err = d.Bool("supervise", "enabled", false); err != nil {
+			return cfg, err
+		}
+		if sc.RetryBudget, err = d.Int("supervise", "retry_budget", 0); err != nil {
+			return cfg, err
+		}
+		if sc.ReplaceBudget, err = d.Int("supervise", "replace_budget", 0); err != nil {
+			return cfg, err
+		}
+		if sc.PersistAfter, err = d.Int("supervise", "persist_after", 0); err != nil {
+			return cfg, err
+		}
+		if sc.BackoffBase, err = d.Duration("supervise", "backoff_base", 0); err != nil {
+			return cfg, err
+		}
+		if sc.BackoffMax, err = d.Duration("supervise", "backoff_max", 0); err != nil {
+			return cfg, err
+		}
+		if sc.BackoffJitter, err = d.Float("supervise", "backoff_jitter", 0); err != nil {
+			return cfg, err
+		}
+		if sc.RecvTimeout, err = d.Duration("supervise", "recv_timeout", 0); err != nil {
+			return cfg, err
+		}
+		if sc.DtBackoff, err = d.Float("supervise", "dt_backoff", 0); err != nil {
+			return cfg, err
+		}
+		if sc.RepartCheckEvery, err = d.Int("supervise", "repart_check_every", 0); err != nil {
+			return cfg, err
+		}
+		if sc.RepartThreshold, err = d.Float("supervise", "repart_threshold", 0); err != nil {
+			return cfg, err
+		}
+		if sc.RepartMinGap, err = d.Int("supervise", "repart_min_gap", 0); err != nil {
+			return cfg, err
+		}
+		if sc.RepartAtStep, err = d.Int("supervise", "repart_at", 0); err != nil {
+			return cfg, err
+		}
+		if sc.RepartRanks, err = d.Int("supervise", "repart_ranks", 0); err != nil {
+			return cfg, err
+		}
+		if sc.RanksMax, err = d.Int("supervise", "ranks_max", 0); err != nil {
+			return cfg, err
+		}
+		seed, err := d.Int("supervise", "seed", 0)
+		if err != nil {
+			return cfg, err
+		}
+		sc.Seed = uint64(seed)
+		cfg.Supervise = sc
 	}
 	cfg.Hourglass = d.String("hydro", "hourglass", "")
 	if cfg.ScatterAcc, err = d.Bool("hydro", "scatteracc", false); err != nil {

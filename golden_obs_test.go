@@ -92,6 +92,42 @@ func TestGoldenMetricsSnapshot(t *testing.T) {
 	compareOrUpdate(t, filepath.Join("testdata", "golden_metrics.json"), buf.Bytes())
 }
 
+// TestGoldenMetricsSnapshotSupervised pins the metrics schema of a
+// supervised run: the supervise_* counters and backoff histograms must
+// appear (at zero — the run is fault-free) alongside the unsupervised
+// snapshot's metrics, whose values must be unchanged by supervision.
+func TestGoldenMetricsSnapshotSupervised(t *testing.T) {
+	dir := t.TempDir()
+	cfg := goldenConfig(dir)
+	cfg.Supervise = &bookleaf.SuperviseConfig{Enabled: true}
+	if _, err := bookleaf.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(cfg.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.MetricsFile
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics.json is not valid JSON: %v", err)
+	}
+	m.Meta.WallSeconds = 0
+	for k := range m.Timers {
+		m.Timers[k] = 0
+	}
+	for k := range m.Counters {
+		if strings.HasSuffix(k, "_ns") {
+			m.Counters[k] = 0
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteMetrics(&buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	compareOrUpdate(t, filepath.Join("testdata", "golden_metrics_supervised.json"), buf.Bytes())
+}
+
 func TestGoldenMergedTraceSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	cfg := goldenConfig(dir)

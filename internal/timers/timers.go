@@ -234,6 +234,20 @@ func (s *Set) Table() string {
 	return b.String()
 }
 
+// Abandon discards any in-flight interval on every timer, keeping the
+// accumulated totals and counts. The supervised parallel driver calls
+// it between recovery epochs: a rank that died mid-kernel leaves its
+// timer started, and the replaying epoch must be free to Start it
+// again. A no-op on a nil Set.
+func (s *Set) Abandon() {
+	if s == nil {
+		return
+	}
+	for _, n := range s.order {
+		s.byName[n].running = false
+	}
+}
+
 // Reset zeroes all timers but keeps their registration.
 func (s *Set) Reset() {
 	for _, n := range s.order {

@@ -3,6 +3,7 @@ package typhon
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -41,6 +42,11 @@ func (e *RankPanicError) Error() string {
 
 func (e *RankPanicError) Is(target error) bool { return target == ErrAborted }
 
+// Transient reports false: the panicked goroutine is gone, so retrying
+// the same incarnation can only replay the crash. A supervisor must
+// replace the rank instead.
+func (e *RankPanicError) Transient() bool { return false }
+
 // SizeMismatchError reports a halo message whose length does not match
 // the registered exchange pattern — a corrupted or truncated transfer.
 // The receiving rank aborts the communicator when it detects one.
@@ -54,6 +60,11 @@ func (e *SizeMismatchError) Error() string {
 		e.From, e.To, e.Got, e.Want)
 }
 
+// Transient reports true: a single malformed message may be a one-off
+// corruption worth one retry. A supervisor escalates repeats from the
+// same sender to rank-persistent via its per-rank fault history.
+func (e *SizeMismatchError) Transient() bool { return true }
+
 // TimeoutError reports a Recv that waited longer than the configured
 // receive timeout — the in-process analogue of MPI fault detection by
 // heartbeat. The timing-out rank aborts the communicator.
@@ -66,6 +77,11 @@ func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("typhon: rank %d timed out after %v waiting for a message from rank %d",
 		e.Rank, e.After, e.From)
 }
+
+// Transient reports true: a timeout may be a one-off stall (a dropped
+// message, a descheduled sender). Repeats from the same sender escalate
+// through the supervisor's per-rank fault history.
+func (e *TimeoutError) Transient() bool { return true }
 
 // FaultKind enumerates injectable message faults.
 type FaultKind int
@@ -92,21 +108,56 @@ type Fault struct {
 	Msg   int64
 	Kind  FaultKind
 	Delay time.Duration
+	// Once makes the fault fire at most once across every communicator
+	// armed with the same FaultPlan. Per-rank message counters reset
+	// with each communicator, so without Once a fault re-fires in every
+	// supervision epoch that replays the matching send — the model of a
+	// *persistent* rank fault. Once models a transient one.
+	Once bool
 }
 
-// FaultPlan is a set of scheduled message faults.
+// FaultPlan is a set of scheduled message faults. A plan may be armed
+// on several communicators in turn (the supervisor rebuilds the
+// communicator per recovery epoch); the Once bookkeeping is shared
+// across all of them and is safe for concurrent ranks.
 type FaultPlan struct {
 	Faults []Fault
+
+	mu    sync.Mutex
+	fired map[int]bool
+}
+
+// match returns the armed fault matching the n-th message of rank, or
+// nil, consuming one-shot faults as it goes.
+func (p *FaultPlan) match(rank int, n int64) *Fault {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Rank != rank || f.Msg != n {
+			continue
+		}
+		if f.Once {
+			p.mu.Lock()
+			done := p.fired[i]
+			if !done {
+				if p.fired == nil {
+					p.fired = make(map[int]bool)
+				}
+				p.fired[i] = true
+			}
+			p.mu.Unlock()
+			if done {
+				continue
+			}
+		}
+		return f
+	}
+	return nil
 }
 
 // InjectFaults arms a fault plan. Call before Run; a nil plan clears it.
-func (c *Comm) InjectFaults(p *FaultPlan) {
-	if p == nil {
-		c.faults = nil
-		return
-	}
-	c.faults = p.Faults
-}
+// The plan is held by reference: arming the same plan on successive
+// communicators shares its one-shot state.
+func (c *Comm) InjectFaults(p *FaultPlan) { c.plan = p }
 
 // SetRecvTimeout bounds every Recv wait; zero (the default) waits
 // forever. A timed-out Recv aborts the communicator so all ranks
@@ -114,16 +165,14 @@ func (c *Comm) InjectFaults(p *FaultPlan) {
 func (c *Comm) SetRecvTimeout(d time.Duration) { c.recvTimeout = d }
 
 // faultFor returns the armed fault matching the n-th message of rank,
-// or nil. Each fault fires at most once because the per-rank message
-// counter only ever increases.
+// or nil. Within one communicator each fault fires at most once because
+// the per-rank message counter only ever increases; across
+// communicators sharing a plan, Once-faults fire at most once in total.
 func (c *Comm) faultFor(rank int, n int64) *Fault {
-	for i := range c.faults {
-		f := &c.faults[i]
-		if f.Rank == rank && f.Msg == n {
-			return f
-		}
+	if c.plan == nil {
+		return nil
 	}
-	return nil
+	return c.plan.match(rank, n)
 }
 
 // Abort poisons the communicator on behalf of rank: every blocked or

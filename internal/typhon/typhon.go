@@ -63,8 +63,8 @@ type Comm struct {
 	abortCh   chan struct{}
 	abort     *AbortError
 
-	// Injected faults and the receive deadline (fault.go).
-	faults      []Fault
+	// Injected fault plan and the receive deadline (fault.go).
+	plan        *FaultPlan
 	recvTimeout time.Duration
 
 	// Per-rank traffic counters (each written only by its own rank's
