@@ -25,6 +25,11 @@
 # in-memory Memento, transient epoch retry, ladder exhaustion with a
 # final checkpoint, and online elastic repartitioning (grow, shrink
 # and same-count re-decomposition of the moved mesh).
+# tier2-fuse races the fused element passes: the fused-vs-unfused
+# bitwise battery (Noh and Sod across the overlap × threads grid, the
+# tile-width invariance sweep, the float32 ablation) plus the hydro
+# zero-alloc and timer pins at a 4-thread scheduler — the suite that
+# guards the default step path.
 # tier2-race runs the FULL tier-1 suite under the race detector at a
 # starved and an oversubscribed scheduler — the whole-program
 # complement to tier2-fault's targeted matrix, catching races in code
@@ -32,13 +37,18 @@
 # reductions, trace writers).
 # bench records the perf trajectory to BENCH_step.json so future
 # changes can be judged against it (see CHANGES.md for the cadence).
+# bench-compare is the perf gate: it re-runs the step benchmarks and
+# diffs them against the committed BENCH_step.json via
+# bleaf-bench -compare, failing when a benchmark slows by more than
+# THRESHOLD (fraction, default 0.10) or allocates more.
 # fuzz gives the deck-parser fuzz target a short budget; lengthen with
 # FUZZTIME=5m for a real session.
 
 GO ?= go
 FUZZTIME ?= 30s
+THRESHOLD ?= 0.10
 
-.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-race test bench bench-all fuzz clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-race test bench bench-all bench-compare fuzz clean
 
 all: build
 
@@ -75,11 +85,15 @@ tier2-supervise:
 	$(GO) test -race ./internal/supervise -count=1
 	$(GO) test -race . -run 'Supervise' -count=1
 
+tier2-fuse:
+	$(GO) test -race . -run 'Fuse|Float32Aux' -count=1
+	GOMAXPROCS=4 $(GO) test -race ./internal/hydro -run 'StepZeroAllocs|Timers' -count=1
+
 tier2-race:
 	GOMAXPROCS=1 $(GO) test -race ./... -count=1
 	GOMAXPROCS=8 $(GO) test -race ./... -count=1
 
-test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-race
+test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-race
 
 # Native fuzzing for the deck parser (seed corpus: decks/ plus the
 # regression inputs under internal/config/testdata/fuzz).
@@ -94,11 +108,18 @@ fuzz:
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkLagrangianStep$$|BenchmarkRemap$$' -benchmem -count=5 . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkParallelStep' -benchmem -count=5 -timeout 30m . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkStepThreads' -benchmem -count=5 ./internal/hydro ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkStepThreads|BenchmarkStepFusion|BenchmarkQForceFusion|BenchmarkLagUpdateFusion|BenchmarkDtReduceFusion' -benchmem -count=5 -timeout 30m ./internal/hydro ; } \
 	  | $(GO) run ./cmd/bleaf-bench -merge -o BENCH_step.json
 
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+bench-compare:
+	@tmp=$$(mktemp) && \
+	  { $(GO) test -run '^$$' -bench 'BenchmarkStepThreads|BenchmarkStepFusion' -benchmem -count=3 ./internal/hydro ; } \
+	    | $(GO) run ./cmd/bleaf-bench -o $$tmp >/dev/null && \
+	  { $(GO) run ./cmd/bleaf-bench -compare -threshold $(THRESHOLD) BENCH_step.json $$tmp; \
+	    status=$$?; rm -f $$tmp; exit $$status; }
 
 clean:
 	$(GO) clean ./...

@@ -160,8 +160,11 @@ func BenchmarkFig4Kernels(b *testing.B) {
 	for _, ranks := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("ranks-%d", ranks), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
+				// NoFuse: the per-kernel metrics below exist only in
+				// the paper-structure timer breakdown.
 				res, err := Run(Config{
 					Problem: "sod", NX: 192, NY: 8, MaxSteps: 50, Ranks: ranks,
+					NoFuse: true,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -18,7 +18,11 @@
 //
 //	res, err := bookleaf.Run(bookleaf.Config{Problem: "sod", NX: 200, NY: 4})
 //	if err != nil { ... }
-//	fmt.Println(res.Steps, res.Time, res.Timers["getq"])
+//	fmt.Println(res.Steps, res.Time, res.Timers["qforce"])
+//
+// The default step runs fused element passes (timer keys "qforce",
+// "lagupdate"); set Config.NoFuse for the paper's eight-kernel
+// breakdown ("getq", "getforce", ... — bitwise-identical fields).
 package bookleaf
 
 import (
@@ -89,6 +93,22 @@ type Config struct {
 	// serial runs, which have no halos. Incompatible with ScatterAcc,
 	// whose whole-range scatter has no interior/boundary split.
 	Overlap bool
+
+	// NoFuse switches the Lagrangian step from the default fused
+	// element passes (viscosity+force and the geometry→density→energy→
+	// EOS chain each as one cache-tiled sweep) back to the paper's
+	// one-kernel-per-phase structure. Fields are bitwise identical
+	// either way (see DESIGN.md §13); unfused is the ablation that
+	// reproduces the paper's Table II timer breakdown.
+	NoFuse bool
+	// FuseTile overrides the fused sweeps' tile width (elements per
+	// body invocation); 0 derives it from the per-core cache budget.
+	FuseTile int
+	// Float32Aux stores the corner-mass and edge-viscosity auxiliary
+	// streams as float32, halving their traffic in the force kernel —
+	// an opt-in accuracy/bandwidth ablation; results are no longer
+	// bitwise-comparable to float64 runs.
+	Float32Aux bool
 
 	// SedovEnergy overrides the Sedov blast energy when positive.
 	SedovEnergy float64
@@ -351,6 +371,9 @@ func (c *Config) applyOverrides(opt *hydro.Options) {
 		opt.Hourglass = hydro.HGSubzonal
 	}
 	opt.ScatterAcc = c.ScatterAcc
+	opt.Fuse = !c.NoFuse
+	opt.FuseTile = c.FuseTile
+	opt.Float32Aux = c.Float32Aux
 	if c.testDtMin > 0 {
 		opt.DtMin = c.testDtMin
 	}

@@ -277,10 +277,18 @@ func TestMaxStepsRespected(t *testing.T) {
 }
 
 func TestTimerBreakdownPresent(t *testing.T) {
+	// The default fused schedule reports the merged kernels; the NoFuse
+	// ablation reproduces the paper's Table II breakdown.
 	res := run(t, bookleaf.Config{Problem: "noh", NX: 12, NY: 12, MaxSteps: 20})
+	for _, k := range []string{"qforce", "lagupdate", "getacc", "getdt"} {
+		if _, ok := res.Timers[k]; !ok {
+			t.Fatalf("fused: missing timer %q (have %v)", k, keys(res.Timers))
+		}
+	}
+	res = run(t, bookleaf.Config{Problem: "noh", NX: 12, NY: 12, MaxSteps: 20, NoFuse: true})
 	for _, k := range []string{"getq", "getforce", "getacc", "getgeom", "getrho", "getein", "getpc", "getdt"} {
 		if _, ok := res.Timers[k]; !ok {
-			t.Fatalf("missing timer %q (have %v)", k, keys(res.Timers))
+			t.Fatalf("unfused: missing timer %q (have %v)", k, keys(res.Timers))
 		}
 	}
 	// getq dominates the element kernels in this implementation, as in

@@ -2,19 +2,34 @@
 // BENCH_step.json perf-trajectory record: it reads benchmark result
 // lines on stdin, aggregates repeated runs of the same benchmark
 // (-count=N) by keeping the minimum ns/op (the least-noise estimate of
-// the true cost on a time-shared machine) and the maximum allocs/op
-// (the conservative regression bound), and writes a JSON object mapping
-// benchmark name to {ns_op, allocs_op, runs}.
+// the true cost on a time-shared machine), the sample standard
+// deviation of ns/op across the repetitions (so a flat scaling curve
+// can be told apart from noise), and the maximum allocs/op (the
+// conservative regression bound). The record is a JSON object
+//
+//	{"env": {...}, "benchmarks": {name: {ns_op, stddev_ns, allocs_op, runs}}}
+//
+// where env captures the machine the numbers were taken on: go
+// version, GOOS/GOARCH, CPU count and GOMAXPROCS. Records written by
+// older versions (a flat name → entry map, no env) are still read.
 //
 // Usage:
 //
 //	go test -bench 'BenchmarkLagrangianStep' -benchmem -count=5 . | bleaf-bench -o BENCH_step.json
+//	bleaf-bench -compare old.json new.json          # exit 1 on regression
 //
 // With -merge, entries already present in the -o file are loaded first
 // and the new results overlaid on top (same name → replaced, new name →
 // added), so a bench run that adds an axis — say BenchmarkParallelStep
 // gaining a ranks dimension — extends the record instead of erasing the
-// benchmarks it didn't re-run.
+// benchmarks it didn't re-run. The env block always describes the
+// current run.
+//
+// With -compare, the two records are diffed benchmark by benchmark: a
+// name whose ns/op grew by more than -threshold (fraction, default
+// 0.05) or whose allocs/op grew at all is a regression, and any
+// regression makes the exit status 1 — `make bench-compare` wires this
+// as the perf gate against the committed BENCH_step.json.
 //
 // Names are recorded exactly as go test emits them (including any
 // GOMAXPROCS suffix): stripping the "-N" suffix would collide with
@@ -27,8 +42,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,14 +63,64 @@ var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
 // Entry is one benchmark's aggregated record.
 type Entry struct {
 	NsOp     float64 `json:"ns_op"`
+	StdDevNs float64 `json:"stddev_ns"`
 	AllocsOp float64 `json:"allocs_op"`
 	Runs     int     `json:"runs"`
+
+	// Accumulators for the running stddev; unexported so they never
+	// reach the JSON record.
+	sum, sumsq float64
+}
+
+// Env describes the machine a record was taken on.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Record is the on-disk schema: environment metadata plus the
+// benchmark map.
+type Record struct {
+	Env        Env               `json:"env"`
+	Benchmarks map[string]*Entry `json:"benchmarks"`
+}
+
+func currentEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	merge := flag.Bool("merge", false, "keep entries already in the -o file that this run does not replace")
+	compare := flag.Bool("compare", false, "compare two record files (old new); exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.05, "ns/op growth fraction that counts as a regression under -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bleaf-bench: -compare needs exactly two record files: old new")
+			os.Exit(2)
+		}
+		regressions, err := compareRecords(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	entries, err := aggregate(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
@@ -84,7 +152,7 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(entries); err != nil {
+	if err := enc.Encode(Record{Env: currentEnv(), Benchmarks: entries}); err != nil {
 		fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
 		os.Exit(1)
 	}
@@ -96,32 +164,112 @@ func main() {
 		sort.Strings(names)
 		for _, n := range names {
 			e := entries[n]
-			fmt.Printf("%-48s %14.0f ns/op %8.0f allocs/op (%d runs)\n", n, e.NsOp, e.AllocsOp, e.Runs)
+			fmt.Printf("%-48s %14.0f ns/op ±%-10.0f %6.0f allocs/op (%d runs)\n",
+				n, e.NsOp, e.StdDevNs, e.AllocsOp, e.Runs)
 		}
 	}
+}
+
+// loadRecord reads a record file in either schema: the current
+// {env, benchmarks} object or the legacy flat name → entry map.
+func loadRecord(path string) (*Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err == nil && rec.Benchmarks != nil {
+		return &rec, nil
+	}
+	var flat map[string]*Entry
+	if err := json.Unmarshal(raw, &flat); err != nil || len(flat) == 0 {
+		return nil, fmt.Errorf("%s is not a benchmark record", path)
+	}
+	// Entries in a legacy flat file are benchmarks, but any junk JSON
+	// object would also parse: require ns_op to be present somewhere.
+	ok := false
+	for _, e := range flat {
+		if e != nil && e.NsOp > 0 {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("%s is not a benchmark record", path)
+	}
+	return &Record{Benchmarks: flat}, nil
 }
 
 // mergePrevious folds entries from an existing record file into the
 // freshly aggregated set. Fresh results win name collisions; a missing
 // file is not an error (first run with -merge behaves like plain -o).
 func mergePrevious(path string, entries map[string]*Entry) error {
-	raw, err := os.ReadFile(path)
+	prev, err := loadRecord(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
 		return err
 	}
-	var prev map[string]*Entry
-	if err := json.Unmarshal(raw, &prev); err != nil {
-		return fmt.Errorf("existing %s is not a benchmark record: %v", path, err)
-	}
-	for name, e := range prev {
+	for name, e := range prev.Benchmarks {
 		if _, ok := entries[name]; !ok {
 			entries[name] = e
 		}
 	}
 	return nil
+}
+
+// compareRecords diffs two records and reports the number of
+// regressions: benchmarks whose ns/op grew by more than threshold
+// (fractional) or whose allocs/op grew at all. Benchmarks present in
+// only one record are listed but never count as regressions — axes
+// come and go as the suite evolves.
+func compareRecords(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldRec, err := loadRecord(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRec, err := loadRecord(newPath)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(newRec.Benchmarks))
+	for n := range newRec.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Fprintf(w, "%-48s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, n := range names {
+		ne := newRec.Benchmarks[n]
+		oe, ok := oldRec.Benchmarks[n]
+		if !ok {
+			fmt.Fprintf(w, "%-48s %14s %14.0f %9s\n", n, "-", ne.NsOp, "new")
+			continue
+		}
+		delta := (ne.NsOp - oe.NsOp) / oe.NsOp
+		verdict := ""
+		if delta > threshold {
+			verdict = "  REGRESSION"
+			regressions++
+		} else if delta < -threshold {
+			verdict = "  improved"
+		}
+		if ne.AllocsOp > oe.AllocsOp {
+			verdict += fmt.Sprintf("  ALLOCS %g -> %g", oe.AllocsOp, ne.AllocsOp)
+			regressions++
+		}
+		fmt.Fprintf(w, "%-48s %14.0f %14.0f %+8.1f%%%s\n", n, oe.NsOp, ne.NsOp, 100*delta, verdict)
+	}
+	for n := range oldRec.Benchmarks {
+		if _, ok := newRec.Benchmarks[n]; !ok {
+			fmt.Fprintf(w, "%-48s %14.0f %14s %9s\n", n, oldRec.Benchmarks[n].NsOp, "-", "gone")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d regression(s) beyond %.0f%% threshold\n", regressions, 100*threshold)
+	}
+	return regressions, nil
 }
 
 func aggregate(sc *bufio.Scanner) (map[string]*Entry, error) {
@@ -142,7 +290,7 @@ func aggregate(sc *bufio.Scanner) (map[string]*Entry, error) {
 		}
 		e, ok := entries[name]
 		if !ok {
-			entries[name] = &Entry{NsOp: ns, AllocsOp: allocs, Runs: 1}
+			entries[name] = &Entry{NsOp: ns, AllocsOp: allocs, Runs: 1, sum: ns, sumsq: ns * ns}
 			continue
 		}
 		if ns < e.NsOp {
@@ -152,6 +300,16 @@ func aggregate(sc *bufio.Scanner) (map[string]*Entry, error) {
 			e.AllocsOp = allocs
 		}
 		e.Runs++
+		e.sum += ns
+		e.sumsq += ns * ns
+		// Sample standard deviation over the repetitions seen so far
+		// (0 for a single run); clamp the cancellation residue.
+		n := float64(e.Runs)
+		varr := (e.sumsq - e.sum*e.sum/n) / (n - 1)
+		if varr < 0 {
+			varr = 0
+		}
+		e.StdDevNs = math.Sqrt(varr)
 	}
 	return entries, sc.Err()
 }

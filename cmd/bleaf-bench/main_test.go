@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +30,11 @@ PASS
 	if e == nil || e.NsOp != 2600000 || e.AllocsOp != 0 || e.Runs != 2 {
 		t.Fatalf("LagrangianStep entry wrong: %+v", e)
 	}
+	// Sample stddev of {2715986, 2600000} is |diff|/sqrt(2).
+	want := math.Abs(2715986-2600000) / math.Sqrt2
+	if math.Abs(e.StdDevNs-want) > 1 {
+		t.Fatalf("stddev %v, want %v", e.StdDevNs, want)
+	}
 	// Sub-benchmarks ending in -N must stay distinct.
 	if got["BenchmarkStepThreads/threads-4"] == nil || got["BenchmarkStepThreads/threads-1"] == nil {
 		t.Fatalf("thread sub-benchmarks merged: %v", got)
@@ -34,18 +42,53 @@ PASS
 	if got["BenchmarkStepThreads/threads-4"].NsOp != 900000 {
 		t.Fatalf("threads-4 ns/op wrong: %+v", got["BenchmarkStepThreads/threads-4"])
 	}
+	// A single repetition has no spread.
+	if got["BenchmarkStepThreads/threads-4"].StdDevNs != 0 {
+		t.Fatalf("single-run stddev %v, want 0", got["BenchmarkStepThreads/threads-4"].StdDevNs)
+	}
+}
+
+func TestEntryJSONOmitsAccumulators(t *testing.T) {
+	raw, err := json.Marshal(&Entry{NsOp: 1, Runs: 3, sum: 3, sumsq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "sum") {
+		t.Fatalf("accumulators leaked into JSON: %s", raw)
+	}
+	for _, field := range []string{"ns_op", "stddev_ns", "allocs_op", "runs"} {
+		if !strings.Contains(string(raw), field) {
+			t.Fatalf("field %s missing from JSON: %s", field, raw)
+		}
+	}
+}
+
+func TestCurrentEnvPopulated(t *testing.T) {
+	env := currentEnv()
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" ||
+		env.NumCPU < 1 || env.GOMAXPROCS < 1 {
+		t.Fatalf("env not populated: %+v", env)
+	}
+}
+
+func writeRecord(t *testing.T, path string, rec Record) {
+	t.Helper()
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestMergePreviousKeepsOldAxes(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_step.json")
-	old := `{
-  "BenchmarkLagrangianStep-8": {"ns_op": 2600000, "allocs_op": 0, "runs": 5},
-  "BenchmarkStepThreads/threads-4": {"ns_op": 900000, "allocs_op": 0, "runs": 5}
-}`
-	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeRecord(t, path, Record{Env: currentEnv(), Benchmarks: map[string]*Entry{
+		"BenchmarkLagrangianStep-8":      {NsOp: 2600000, Runs: 5},
+		"BenchmarkStepThreads/threads-4": {NsOp: 900000, Runs: 5},
+	}})
 	// A later bench run re-measures one old name and adds a new axis.
 	entries := map[string]*Entry{
 		"BenchmarkStepThreads/threads-4":           {NsOp: 850000, Runs: 5},
@@ -68,6 +111,26 @@ func TestMergePreviousKeepsOldAxes(t *testing.T) {
 	}
 }
 
+// Records written before the env/stddev schema (a flat name → entry
+// map) must still merge.
+func TestMergePreviousReadsLegacySchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_step.json")
+	old := `{
+  "BenchmarkLagrangianStep-8": {"ns_op": 2600000, "allocs_op": 0, "runs": 5}
+}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries := map[string]*Entry{"BenchmarkNew": {NsOp: 1, Runs: 1}}
+	if err := mergePrevious(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	if e := entries["BenchmarkLagrangianStep-8"]; e == nil || e.NsOp != 2600000 {
+		t.Fatalf("legacy entry lost: %+v", e)
+	}
+}
+
 func TestMergePreviousMissingFileIsFine(t *testing.T) {
 	entries := map[string]*Entry{"BenchmarkX": {NsOp: 1, Runs: 1}}
 	if err := mergePrevious(filepath.Join(t.TempDir(), "absent.json"), entries); err != nil {
@@ -80,12 +143,17 @@ func TestMergePreviousMissingFileIsFine(t *testing.T) {
 
 func TestMergePreviousRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "bad.json")
-	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := mergePrevious(path, map[string]*Entry{}); err == nil {
-		t.Fatal("garbage record accepted")
+	for name, body := range map[string]string{
+		"bad.json":   "not json",
+		"empty.json": "{}",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := mergePrevious(path, map[string]*Entry{}); err == nil {
+			t.Fatalf("%s accepted as a record", name)
+		}
 	}
 }
 
@@ -93,5 +161,61 @@ func TestAggregateEmpty(t *testing.T) {
 	got, err := aggregate(bufio.NewScanner(strings.NewReader("no benchmarks here\n")))
 	if err != nil || len(got) != 0 {
 		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestCompareRecords(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeRecord(t, oldPath, Record{Benchmarks: map[string]*Entry{
+		"BenchmarkA":    {NsOp: 1000, AllocsOp: 0, Runs: 5},
+		"BenchmarkB":    {NsOp: 1000, AllocsOp: 0, Runs: 5},
+		"BenchmarkC":    {NsOp: 1000, AllocsOp: 0, Runs: 5},
+		"BenchmarkGone": {NsOp: 1, Runs: 1},
+	}})
+	writeRecord(t, newPath, Record{Benchmarks: map[string]*Entry{
+		"BenchmarkA":   {NsOp: 1200, AllocsOp: 0, Runs: 5}, // +20%: regression
+		"BenchmarkB":   {NsOp: 700, AllocsOp: 0, Runs: 5},  // improvement
+		"BenchmarkC":   {NsOp: 1030, AllocsOp: 2, Runs: 5}, // allocs regression
+		"BenchmarkNew": {NsOp: 1, Runs: 1},
+	}})
+	var buf bytes.Buffer
+	n, err := compareRecords(&buf, oldPath, newPath, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("got %d regressions, want 2:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "improved", "ALLOCS 0 -> 2", "new", "gone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// A looser threshold forgives the ns/op growth but not the allocs.
+	buf.Reset()
+	n, err = compareRecords(&buf, oldPath, newPath, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d regressions at 50%% threshold, want 1 (allocs):\n%s", n, buf.String())
+	}
+}
+
+// The committed BENCH_step.json compared against itself is clean — the
+// make bench-compare gate's identity case.
+func TestCompareRecordsIdentity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	writeRecord(t, path, Record{Env: currentEnv(), Benchmarks: map[string]*Entry{
+		"BenchmarkA": {NsOp: 1000, Runs: 5},
+	}})
+	var buf bytes.Buffer
+	n, err := compareRecords(&buf, path, path, 0.05)
+	if err != nil || n != 0 {
+		t.Fatalf("identity compare: %d regressions, err %v", n, err)
 	}
 }

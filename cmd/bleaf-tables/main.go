@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"bookleaf"
 	"bookleaf/internal/machine"
@@ -41,13 +42,14 @@ func main() {
 		f4b    = flag.Bool("fig4b", false, "print Figure 4b series")
 		real   = flag.Bool("real", false, "run the real implementation at reduced scale")
 		whatif = flag.Bool("whatif", false, "model the paper's future-work CUB scenario")
+		roofl  = flag.Bool("roofline", false, "print the kernel-fusion roofline readout")
 		all    = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f1, *f2a, *f2b, *f3, *f4a, *f4b, *real, *whatif = true, true, true, true, true, true, true, true, true, true
+		*t1, *t2, *f1, *f2a, *f2b, *f3, *f4a, *f4b, *real, *whatif, *roofl = true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *f1 || *f2a || *f2b || *f3 || *f4a || *f4b || *real || *whatif) {
+	if !(*t1 || *t2 || *f1 || *f2a || *f2b || *f3 || *f4a || *f4b || *real || *whatif || *roofl) {
 		flag.Usage()
 		return
 	}
@@ -73,9 +75,45 @@ func main() {
 	if *whatif {
 		whatIf()
 	}
+	if *roofl {
+		roofline()
+	}
 	if *real {
 		realRuns()
 	}
+}
+
+// roofline prints the kernel-fusion readout: per-element off-chip
+// bytes and weighted ops of each fused pass against the kernels it
+// replaces, the bandwidth-bound speedup limit, and the predicted
+// roofline gain on the CPU platforms. EXPERIMENTS.md pairs these
+// predictions with the measured fused-vs-unfused benchmark deltas
+// (BenchmarkStepFusion and the per-fusion micro-benchmarks).
+func roofline() {
+	fmt.Println("== Kernel-fusion roofline (per element, -fuse vs unfused) ==")
+	fmt.Printf("%-10s %-32s %7s %7s %7s %7s %9s %9s %9s\n",
+		"fusion", "replaces", "bytes", "fused", "ops", "fused", "bw-bound", "Skylake", "Broadwell")
+	var skl, bdw machine.Platform
+	for _, p := range machine.Platforms() {
+		switch p.Name {
+		case "Skylake MPI":
+			skl = p
+		case "Broadwell MPI":
+			bdw = p
+		}
+	}
+	for _, f := range machine.Fusions {
+		uo, ub := f.Unfused()
+		fo, fb := f.Fused()
+		fmt.Printf("%-10s %-32s %7.0f %7.0f %7.0f %7.0f %8.2fx %8.2fx %8.2fx\n",
+			f.Name, strings.Join(f.Replaces, "+"), ub, fb, uo, fo,
+			f.BandwidthBound(), f.GainOn(&skl), f.GainOn(&bdw))
+	}
+	w := machine.Table2Workload()
+	fmt.Printf("%-10s modelled step speedup: Skylake %.2fx, Broadwell %.2fx (Table II workload)\n",
+		"overall", skl.Overall(w)/skl.OverallOf(machine.FusedKernels(), w),
+		bdw.Overall(w)/bdw.OverallOf(machine.FusedKernels(), w))
+	fmt.Println()
 }
 
 // whatIf prints the paper's future-work scenario: CUDA with proper
@@ -224,9 +262,12 @@ func realRuns() {
 		{"flat", ranks, 1},
 		{"hybrid", 1, ranks},
 	} {
+		// NoFuse: this experiment reproduces the paper's per-kernel
+		// breakdown, which only the unfused schedule reports.
 		res, err := bookleaf.Run(bookleaf.Config{
 			Problem: "noh", NX: 96, NY: 96,
 			Ranks: mode.ranks, Threads: mode.thread,
+			NoFuse: true,
 		})
 		if err != nil {
 			fmt.Println("error:", err)

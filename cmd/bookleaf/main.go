@@ -56,6 +56,9 @@ func run() error {
 		hourglass   = flag.String("hourglass", "", "override: none, filter, subzonal")
 		scatterAcc  = flag.Bool("scatteracc", false, "reference serial acceleration scatter (paper-fidelity ablation)")
 		overlap     = flag.Bool("overlap", false, "phased halo exchanges overlapped with interior computation (multi-rank runs)")
+		fuse        = flag.Bool("fuse", true, "fused element passes (bitwise-identical; -fuse=false selects the paper's one-kernel-per-phase ablation)")
+		fuseTile    = flag.Int("fuse-tile", 0, "fused-sweep tile width in elements (0 = derive from the per-core cache budget)")
+		f32aux      = flag.Bool("f32aux", false, "store corner-mass/edge-viscosity streams as float32 (accuracy/bandwidth ablation)")
 		sedovE      = flag.Float64("sedov-energy", 0, "Sedov blast energy override")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -131,6 +134,7 @@ func run() error {
 			Ranks: *ranks, Threads: *threads, Partitioner: *partitioner,
 			ALE: *aleMode, ALEFreq: *aleFreq, Hourglass: *hourglass,
 			ScatterAcc: *scatterAcc, Overlap: *overlap, SedovEnergy: *sedovE,
+			NoFuse: !*fuse, FuseTile: *fuseTile, Float32Aux: *f32aux,
 			Checkpoint: *ckpt, CheckpointEvery: *ckptEvery, Resume: *resume,
 			RollbackEvery: *rollEvery, RetryBudget: *retryBudget,
 			HistoryEvery: *history,
@@ -141,6 +145,18 @@ func run() error {
 	if *overlap {
 		cfg.Overlap = true
 	}
+	// -fuse defaults to true, so only an explicit command-line setting
+	// may override the deck's [control] fuse key.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "fuse":
+			cfg.NoFuse = !*fuse
+		case "fuse-tile":
+			cfg.FuseTile = *fuseTile
+		case "f32aux":
+			cfg.Float32Aux = *f32aux
+		}
+	})
 	// Observability flags compose with decks: a flag set on the command
 	// line wins over the deck's [obs] keys.
 	if *tracePfx != "" {
@@ -322,6 +338,17 @@ func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
 	}
 	cfg.Partitioner = d.String("control", "partitioner", "rcb")
 	if cfg.Overlap, err = d.Bool("control", "overlap", false); err != nil {
+		return cfg, err
+	}
+	fuseOn, err := d.Bool("control", "fuse", true)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.NoFuse = !fuseOn
+	if cfg.FuseTile, err = d.Int("control", "fuse_tile", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.Float32Aux, err = d.Bool("hydro", "float32aux", false); err != nil {
 		return cfg, err
 	}
 	cfg.Checkpoint = d.String("control", "checkpoint", "")

@@ -32,9 +32,12 @@ func main() {
 
 	var results []*bookleaf.Result
 	for _, c := range configs {
+		// NoFuse: this example reproduces the paper's per-kernel
+		// hybrid/flat ratios, which need the unfused timer breakdown.
 		res, err := bookleaf.Run(bookleaf.Config{
 			Problem: "noh", NX: 80, NY: 80,
 			Ranks: c.ranks, Threads: c.threads,
+			NoFuse: true,
 		})
 		if err != nil {
 			log.Fatal(err)

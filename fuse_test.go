@@ -1,0 +1,133 @@
+package bookleaf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestFuseBitwiseDeterminism is the acceptance test for the fused
+// element passes: at every thread count, on both the synchronous and
+// the overlapped halo schedule, the fused step must reproduce the
+// unfused (paper-structure) step bit for bit. The fusion only merges
+// loop bodies over the same per-element arithmetic — each element
+// still sees exactly the operand sequence the unfused kernels gave it
+// — so any drift here is a real reordering bug, not roundoff.
+// FloorEnergy is the one chunk-order-summed diagnostic (compared with
+// a tolerance, as in the thread-count determinism test).
+func TestFuseBitwiseDeterminism(t *testing.T) {
+	cases := []Config{
+		{Problem: "noh", NX: 20, NY: 20, MaxSteps: 25},
+		{Problem: "sod", NX: 64, NY: 4, MaxSteps: 25},
+	}
+	for _, base := range cases {
+		t.Run(base.Problem, func(t *testing.T) {
+			for _, overlap := range []bool{false, true} {
+				for _, threads := range []int{1, 2, 4, 7} {
+					cfg := base
+					cfg.Threads = threads
+					cfg.Overlap = overlap
+					if overlap {
+						cfg.Ranks = 2 // overlap needs halos; serial runs ignore it
+					}
+					label := fmt.Sprintf("overlap=%v threads=%d", overlap, threads)
+
+					off := cfg
+					off.NoFuse = true
+					ref, err := Run(off)
+					if err != nil {
+						t.Fatalf("%s unfused: %v", label, err)
+					}
+					res, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("%s fused: %v", label, err)
+					}
+					if res.Steps != ref.Steps || res.Time != ref.Time {
+						t.Fatalf("%s: steps/time (%d, %v) differ from unfused (%d, %v)",
+							label, res.Steps, res.Time, ref.Steps, ref.Time)
+					}
+					for name, pair := range map[string][2][]float64{
+						"rho": {res.Rho, ref.Rho}, "ein": {res.Ein, ref.Ein},
+						"p": {res.P, ref.P},
+						"u": {res.U, ref.U}, "v": {res.V, ref.V},
+						"x": {res.X, ref.X}, "y": {res.Y, ref.Y},
+					} {
+						if i := firstDiff(pair[0], pair[1]); i >= 0 {
+							t.Errorf("%s: %s[%d] = %x, unfused %x",
+								label, name, i, pair[0][i], pair[1][i])
+						}
+					}
+					if res.EFinal != ref.EFinal {
+						t.Errorf("%s: EFinal %x differs from unfused %x", label, res.EFinal, ref.EFinal)
+					}
+					if d := math.Abs(res.FloorEnergy - ref.FloorEnergy); d > 1e-12*math.Max(1, math.Abs(ref.FloorEnergy)) {
+						t.Errorf("%s: FloorEnergy %v vs unfused %v", label, res.FloorEnergy, ref.FloorEnergy)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFuseTileInvariance: the tile width is a scheduling knob, not a
+// numerical one — extreme widths (single cache line's worth of
+// elements, one tile spanning everything) must not change a bit.
+func TestFuseTileInvariance(t *testing.T) {
+	base := Config{Problem: "noh", NX: 16, NY: 16, MaxSteps: 15, Threads: 4}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range []int{1, 7, 1 << 20} {
+		cfg := base
+		cfg.FuseTile = tile
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("tile=%d: %v", tile, err)
+		}
+		for name, pair := range map[string][2][]float64{
+			"rho": {res.Rho, ref.Rho}, "u": {res.U, ref.U}, "x": {res.X, ref.X},
+		} {
+			if i := firstDiff(pair[0], pair[1]); i >= 0 {
+				t.Errorf("tile=%d: %s[%d] = %x, default tiling %x",
+					tile, name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+// TestFloat32AuxRuns: the float32 auxiliary-stream ablation is
+// numerically perturbed by construction (forces see rounded corner
+// masses and edge dampers), so the contract is looser: the run must
+// complete, conserve energy to audit tolerance, and land near the
+// float64 solution — while actually differing from it, or the ablation
+// is silently wired to nothing.
+func TestFloat32AuxRuns(t *testing.T) {
+	base := Config{Problem: "sod", NX: 64, NY: 4, MaxSteps: 40}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Float32Aux = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("float32aux: %v", err)
+	}
+	if d := res.EnergyDrift(); math.Abs(d) > 1e-9 {
+		t.Errorf("float32aux: energy drift %v above audit tolerance", d)
+	}
+	var maxRel float64
+	for i := range res.Rho {
+		rel := math.Abs(res.Rho[i]-ref.Rho[i]) / math.Max(1, math.Abs(ref.Rho[i]))
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 1e-4 {
+		t.Errorf("float32aux: max relative rho deviation %v from float64 run", maxRel)
+	}
+	if firstDiff(res.Rho, ref.Rho) < 0 {
+		t.Error("float32aux run is bitwise-identical to float64 — ablation not wired")
+	}
+}

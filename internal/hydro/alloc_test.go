@@ -1,6 +1,7 @@
 package hydro
 
 import (
+	"fmt"
 	"testing"
 
 	"bookleaf/internal/eos"
@@ -14,10 +15,25 @@ import (
 // per-step cost multiplied by the whole run, so this fails hard rather
 // than tolerating "a few".
 func TestStepZeroAllocs(t *testing.T) {
-	for _, threads := range []int{1, 4} {
+	for _, fuse := range []bool{true, false} {
+		for _, threads := range []int{1, 4} {
+			name := "unfused"
+			if fuse {
+				name = "fused"
+			}
+			t.Run(fmt.Sprintf("%s/pool-%d", name, threads), func(t *testing.T) {
+				testStepZeroAllocs(t, fuse, threads)
+			})
+		}
+	}
+}
+
+func testStepZeroAllocs(t *testing.T, fuse bool, threads int) {
+	{
 		m := boxMesh(t, 16, 16)
 		g, _ := eos.NewIdealGas(1.4)
 		opt := DefaultOptions(g)
+		opt.Fuse = fuse
 		rho := make([]float64, m.NEl)
 		ein := make([]float64, m.NEl)
 		for e := range rho {

@@ -10,6 +10,10 @@ import (
 )
 
 func benchState(b *testing.B, n, threads int) *State {
+	return benchStateFuse(b, n, threads, true)
+}
+
+func benchStateFuse(b *testing.B, n, threads int, fuse bool) *State {
 	b.Helper()
 	m, err := mesh.Rect(mesh.RectSpec{NX: n, NY: n, X0: 0, X1: 1, Y0: 0, Y1: 1, Walls: mesh.DefaultWalls()})
 	if err != nil {
@@ -17,6 +21,7 @@ func benchState(b *testing.B, n, threads int) *State {
 	}
 	g, _ := eos.NewIdealGas(1.4)
 	opt := DefaultOptions(g)
+	opt.Fuse = fuse
 	rho := make([]float64, m.NEl)
 	ein := make([]float64, m.NEl)
 	for e := range rho {
@@ -110,5 +115,98 @@ func BenchmarkGetDt(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.GetDt()
+	}
+}
+
+// BenchmarkStepFusion measures the whole Lagrangian step with the
+// fused element passes on and off — the headline fused-vs-unfused
+// delta EXPERIMENTS.md pairs with the roofline prediction
+// (bleaf-tables -roofline). Both variants run the same arithmetic on
+// bitwise-identical states, so the gap is pure scheduling and memory
+// traffic.
+func BenchmarkStepFusion(b *testing.B) {
+	for _, fuse := range []bool{true, false} {
+		name := "unfused"
+		if fuse {
+			name = "fused"
+		}
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/threads-%d", name, threads), func(b *testing.B) {
+				s := benchStateFuse(b, 120, threads, fuse)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Step(nil, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQForceFusion isolates the q+force fusion: one merged sweep
+// against the getq/getforce kernel pair over the same state.
+func BenchmarkQForceFusion(b *testing.B) {
+	b.Run("fused", func(b *testing.B) {
+		s := benchStateFuse(b, 120, 1, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.GetQForce(0, s.Mesh.NEl, s.U0, s.V0)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		s := benchStateFuse(b, 120, 1, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.GetQ(0, s.Mesh.NEl)
+			s.GetForce(0, s.Mesh.NEl, s.U0, s.V0)
+		}
+	})
+}
+
+// BenchmarkLagUpdateFusion isolates the vol→rho→ein→pc fusion. dt=0
+// keeps the sweep idempotent across iterations while still paying the
+// full gather, geometry, energy and EOS traffic.
+func BenchmarkLagUpdateFusion(b *testing.B) {
+	b.Run("fused", func(b *testing.B) {
+		s := benchStateFuse(b, 120, 1, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.FusedUpdate(0, s.U0, s.V0, 0, s.Mesh.NEl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		s := benchStateFuse(b, 120, 1, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.GetGeom(0, s.U0, s.V0, 0, s.Mesh.NEl); err != nil {
+				b.Fatal(err)
+			}
+			s.GetRho(0, s.Mesh.NEl)
+			s.GetEin(0, s.U0, s.V0, 0, s.Mesh.NEl)
+			s.GetPC(0, s.Mesh.NEl)
+		}
+	})
+}
+
+// BenchmarkDtReduceFusion isolates the timestep fusion: the paired
+// CFL+divergence reduction in one sweep against two separate
+// reductions over the same data.
+func BenchmarkDtReduceFusion(b *testing.B) {
+	for _, fuse := range []bool{true, false} {
+		name := "unfused"
+		if fuse {
+			name = "fused"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := benchStateFuse(b, 120, 1, fuse)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.GetDt()
+			}
+		})
 	}
 }

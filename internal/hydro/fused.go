@@ -1,0 +1,412 @@
+package hydro
+
+import (
+	"math"
+
+	"bookleaf/internal/eos"
+	"bookleaf/internal/geom"
+	"bookleaf/internal/timers"
+)
+
+// Fused element passes (Options.Fuse, the default): the predictor and
+// corrector each stream the element arrays twice instead of six times.
+//
+// The fusion follows the Lagrange-flux observation (De Vuyst et al.)
+// that Lagrange-remap kernels are memory-bound because consecutive
+// passes re-gather the same nodal and element arrays: in the unfused
+// chain, getq and getforce each gather X/Y/U/V through ElNd, and
+// getgeom/getrho/getein/getpc re-read ElNd, Vol, Rho, Mass and the
+// corner forces that a neighbouring kernel just produced. Both fusions
+// are valid per element because no kernel in either pair reads another
+// element's output: getforce consumes only its own element's Q/QEdge
+// (just computed), and vol→rho→ein→pc is a straight-line dataflow on
+// element-local values once the nodes have moved. Each fused body
+// therefore performs the exact per-element floating-point sequence of
+// its unfused kernels back to back — same gathered operands, same
+// operation order — which is what makes the fused path bitwise-
+// identical to the unfused one at every thread count (pinned by the
+// fused-vs-unfused battery in fuse_test.go).
+//
+// The sweeps dispatch over par.ForChunksTiled: each body invocation
+// covers at most fuseTile elements, so the slab of every streamed
+// array a tile touches stays L2-resident across the fused phases. The
+// tile width is Options.FuseTile or par.TileFor(fusedBytesPerElem).
+
+// fusedBytesPerElem is the working-set estimate the default tile width
+// is derived from: the fused update streams ElNd (32 B) + 4 nodes of
+// X/Y/U/V (amortised ~64 B), FX/FY (64 B), and ~10 element-scalar
+// streams (80 B) ≈ 256 B per element; the fused q+force pass is the
+// same order (QEdge + neighbour touches in place of Ein0/Mass).
+const fusedBytesPerElem = 256
+
+// Fused-path timer names. The fused step deliberately reports the
+// merged kernels under merged names instead of attributing shares back
+// to the paper's Table II names — a per-kernel split of a fused sweep
+// would be fiction. The unfused ablation still reports the paper's
+// breakdown.
+const (
+	TimerQForce    = "qforce"
+	TimerLagUpdate = "lagupdate"
+)
+
+// GetQForce computes artificial viscosity and corner forces for
+// elements [lo, hi) in one sweep — the fusion of GetQ and GetForce.
+// uArr, vArr supply the velocity field (U0 in both the predictor and
+// the corrector, where U is still bitwise-equal to its start-of-step
+// copy — nothing writes U between the copy and GetAcc).
+func (s *State) GetQForce(lo, hi int, uArr, vArr []float64) {
+	s.ka.lo = lo
+	s.ka.u, s.ka.v = uArr, vArr
+	s.Pool.ForChunksTiled(hi-lo, s.fuseTile, s.kb.qforce)
+}
+
+func (s *State) qforceBody(_, plo, phi int) {
+	m := s.Mesh
+	cq1, cq2 := s.Opt.CQ1, s.Opt.CQ2
+	lo := s.ka.lo
+	uArr, vArr := s.ka.u, s.ka.v
+	f32 := s.Opt.Float32Aux
+	var x, y, u, v [4]float64
+	var ax, ay [4]float64
+	var qe [4]float64
+	for e := lo + plo; e < lo+phi; e++ {
+		nd := &m.ElNd[e]
+		for k := 0; k < 4; k++ {
+			x[k] = s.X[nd[k]]
+			y[k] = s.Y[nd[k]]
+			u[k] = uArr[nd[k]]
+			v[k] = vArr[nd[k]]
+		}
+		rho := s.Rho[e]
+		csq := s.Csq[e]
+		cs := math.Sqrt(csq)
+		base := 4 * e
+
+		// --- getq: edge viscosity with the two-ring limiter (the
+		// per-element body of qBody, on the shared gathers).
+		var qsum float64
+		for k := 0; k < 4; k++ {
+			kp := (k + 1) & 3
+			dux := u[kp] - u[k]
+			duy := v[kp] - v[k]
+			dxx := x[kp] - x[k]
+			dxy := y[kp] - y[k]
+			if dux*dxx+duy*dxy >= 0 {
+				qe[k] = 0
+				continue
+			}
+			du2 := dux*dux + duy*duy
+			if du2 == 0 {
+				qe[k] = 0
+				continue
+			}
+			du := math.Sqrt(du2)
+			ko2 := (k + 2) & 3
+			ko2p := (ko2 + 1) & 3
+			odux := -(u[ko2p] - u[ko2])
+			oduy := -(v[ko2p] - v[ko2])
+			r := (odux*dux + oduy*duy) / du2
+			if nb := m.ElEl[e][k]; nb >= 0 {
+				kk := int(s.facing[base+k])
+				if kk < 0 {
+					panic("hydro: element adjacency not symmetric")
+				}
+				ko := (kk + 2) & 3
+				kop := (ko + 1) & 3
+				nbnd := &m.ElNd[nb]
+				ndux := -(uArr[nbnd[kop]] - uArr[nbnd[ko]])
+				nduy := -(vArr[nbnd[kop]] - vArr[nbnd[ko]])
+				rNb := (ndux*dux + nduy*duy) / du2
+				r = min(rNb, r)
+			}
+			psi := 0.0
+			if r > 0 {
+				psi = min(1.0, r)
+			}
+			qEdge := (1 - psi) * rho * (cq2*du2 + cq1*cs*du)
+			qsum += qEdge
+			edgeLen := math.Sqrt(dxx*dxx + dxy*dxy)
+			qe[k] = qEdge * edgeLen / du
+		}
+		q := 0.25 * qsum
+		s.Q[e] = q
+		if f32 {
+			for k := 0; k < 4; k++ {
+				s.qedge32[base+k] = float32(qe[k])
+				qe[k] = float64(s.qedge32[base+k])
+			}
+		} else {
+			for k := 0; k < 4; k++ {
+				s.QEdge[base+k] = qe[k]
+			}
+		}
+
+		// --- getforce: pressure + viscosity force and hourglass
+		// control (the per-element body of forceBody), reusing the
+		// gathered x/y/u/v and the q just computed.
+		geom.BasisGrad(&x, &y, &ax, &ay)
+		pq := s.P[e] + q
+		for k := 0; k < 4; k++ {
+			s.FX[base+k] = pq * ax[k]
+			s.FY[base+k] = pq * ay[k]
+		}
+		if s.Opt.EdgeQForces {
+			for k := 0; k < 4; k++ {
+				s.FX[base+k] -= q * ax[k]
+				s.FY[base+k] -= q * ay[k]
+			}
+			for k := 0; k < 4; k++ {
+				kappa := qe[k]
+				if kappa == 0 {
+					continue
+				}
+				kp := (k + 1) & 3
+				fx := kappa * (u[kp] - u[k])
+				fy := kappa * (v[kp] - v[k])
+				s.FX[base+k] += fx
+				s.FY[base+k] += fy
+				s.FX[base+kp] -= fx
+				s.FY[base+kp] -= fy
+			}
+		}
+		switch s.Opt.Hourglass {
+		case HGFilter:
+			var hu, hv float64
+			for k := 0; k < 4; k++ {
+				hu += geom.HourglassVector[k] * u[k]
+				hv += geom.HourglassVector[k] * v[k]
+			}
+			hu *= 0.25
+			hv *= 0.25
+			area := s.Vol[e]
+			coef := s.Opt.HGKappa * rho * (cs + math.Sqrt(hu*hu+hv*hv)) * math.Sqrt(area)
+			for k := 0; k < 4; k++ {
+				s.FX[base+k] -= coef * hu * geom.HourglassVector[k]
+				s.FY[base+k] -= coef * hv * geom.HourglassVector[k]
+			}
+		case HGSubzonal:
+			s.subzonalForce(e, &x, &y, rho, csq, q, f32)
+		}
+	}
+}
+
+// floorsFor sizes and zeroes the per-chunk floor-energy partials for a
+// t-chunk dispatch. The fused update accumulates into the slots per
+// element (the launcher cannot, because a chunk spans several tiles),
+// so they must start at zero.
+func (s *State) floorsFor(t int) {
+	if cap(s.ka.floors) < floorStride*t {
+		s.ka.floors = make([]float64, floorStride*t)
+	}
+	s.ka.floors = s.ka.floors[:floorStride*t]
+	for c := 0; c < t; c++ {
+		s.ka.floors[floorStride*c] = 0
+	}
+}
+
+// FusedUpdate advances geometry, density, internal energy and the EOS
+// of elements [lo, hi) in one sweep — the fusion of GetGeom, GetRho,
+// GetEin and GetPC: nodes move, then each element recomputes volume,
+// density, compatible energy and pressure/sound speed from values still
+// in cache. The tangle scan runs after the sweep, serial and ascending,
+// so the first reported offender matches the unfused schedule; the
+// floor-energy total is returned only on success (the unfused path
+// never reaches GetEin when GetGeom tangles, so a tangled fused step
+// must not commit floors either — rollback restores the extra fields
+// the fused sweep wrote past the tangle).
+func (s *State) FusedUpdate(dt float64, uArr, vArr []float64, lo, hi int) (float64, error) {
+	s.ka.dt = dt
+	s.ka.u, s.ka.v = uArr, vArr
+	s.ka.nlo = 0
+	s.Pool.For(s.Mesh.NNd, s.kb.move)
+	t := s.Pool.NumChunks(hi - lo)
+	if t < 1 {
+		return 0, nil
+	}
+	s.floorsFor(t)
+	s.ka.lo = lo
+	s.Pool.ForChunksTiled(hi-lo, s.fuseTile, s.kb.update)
+	if err := s.scanTangled(lo, hi); err != nil {
+		return 0, err
+	}
+	var total float64
+	for c := 0; c < t; c++ {
+		total += s.ka.floors[floorStride*c]
+	}
+	return total, nil
+}
+
+func (s *State) updateBody(chunk, plo, phi int) {
+	mats := s.Opt.Materials
+	reg := s.Mesh.Region
+	lo, dt := s.ka.lo, s.ka.dt
+	uArr, vArr := s.ka.u, s.ka.v
+	fl := &s.ka.floors[floorStride*chunk]
+	var x, y [4]float64
+	for e := lo + plo; e < lo+phi; e++ {
+		s.fusedElem(e, dt, uArr, vArr, &x, &y, mats, reg, fl)
+	}
+}
+
+// FusedUpdateList is FusedUpdate's list-dispatch twin for the
+// overlapped schedule's interior/boundary bands: no node move (the
+// caller interleaves MoveNodes with the exchange phases) and no tangle
+// scan (deferred to the caller, after both bands). Returns the
+// floor-energy partial for the listed elements.
+func (s *State) FusedUpdateList(dt float64, uArr, vArr []float64, list []int) float64 {
+	t := s.Pool.NumChunks(len(list))
+	if t < 1 {
+		return 0
+	}
+	s.floorsFor(t)
+	s.ka.list, s.ka.dt = list, dt
+	s.ka.u, s.ka.v = uArr, vArr
+	s.Pool.ForChunksTiled(len(list), s.fuseTile, s.kb.updateList)
+	var total float64
+	for c := 0; c < t; c++ {
+		total += s.ka.floors[floorStride*c]
+	}
+	return total
+}
+
+func (s *State) updateListBody(chunk, plo, phi int) {
+	mats := s.Opt.Materials
+	reg := s.Mesh.Region
+	dt := s.ka.dt
+	list := s.ka.list
+	uArr, vArr := s.ka.u, s.ka.v
+	fl := &s.ka.floors[floorStride*chunk]
+	var x, y [4]float64
+	for i := plo; i < phi; i++ {
+		s.fusedElem(list[i], dt, uArr, vArr, &x, &y, mats, reg, fl)
+	}
+}
+
+// fusedElem is the per-element vol→rho→ein→pc chain both fused update
+// bodies share: the exact floating-point sequence of volBody, rhoBody,
+// einBody and pcBody back to back. The floor partial accumulates into
+// the chunk's padded slot per element (not via a tile-local temporary)
+// so the addition order matches the unfused einBody's local
+// accumulator bit for bit.
+func (s *State) fusedElem(e int, dt float64, uArr, vArr []float64, x, y *[4]float64, mats []eos.Material, reg []int, fl *float64) {
+	nd := &s.Mesh.ElNd[e]
+	base := 4 * e
+	for k := 0; k < 4; k++ {
+		x[k] = s.X[nd[k]]
+		y[k] = s.Y[nd[k]]
+	}
+	vol := geom.Area(x, y)
+	s.Vol[e] = vol
+	mass := s.Mass[e]
+	rho := mass / vol
+	s.Rho[e] = rho
+	var w float64
+	for k := 0; k < 4; k++ {
+		w += s.FX[base+k]*uArr[nd[k]] + s.FY[base+k]*vArr[nd[k]]
+	}
+	ein := s.Ein0[e] - dt*w/mass
+	mat := mats[reg[e]]
+	if ein < 0 && mat.EnergyDependent() {
+		*fl += -ein * mass
+		ein = 0
+	}
+	s.Ein[e] = ein
+	s.P[e] = mat.Pressure(rho, ein)
+	s.Csq[e] = mat.SoundSpeed2(rho, ein)
+}
+
+// correctorSyncFused is correctorSync on the fused passes: the same two
+// blocking communication points, with q+force and the update chain each
+// a single sweep.
+func (s *State) correctorSyncFused(tm *timers.Set, hooks *Hooks, dt float64) error {
+	nel := s.Mesh.NOwnEl
+
+	tm.Start(TimerQForce)
+	s.GetQForce(0, nel, s.U0, s.V0)
+	tm.Stop(TimerQForce)
+
+	if hooks != nil && hooks.ExchangeForces != nil {
+		tm.Start(TimerComms)
+		hooks.ExchangeForces(s)
+		tm.Stop(TimerComms)
+	}
+
+	tm.Start(TimerGetAcc)
+	s.GetAcc(dt)
+	tm.Stop(TimerGetAcc)
+	s.ExternalWork += -dt * s.pistonWork()
+
+	if hooks != nil && hooks.ExchangeVelocities != nil {
+		tm.Start(TimerComms)
+		hooks.ExchangeVelocities(s)
+		tm.Stop(TimerComms)
+	}
+
+	tm.Start(TimerLagUpdate)
+	fl, err := s.FusedUpdate(dt, s.UBar, s.VBar, 0, nel)
+	tm.Stop(TimerLagUpdate)
+	if err != nil {
+		return err
+	}
+	s.FloorEnergy += fl
+	return nil
+}
+
+// correctorOverlapFused is correctorOverlap on the fused passes. The
+// band disjointness argument is unchanged — interior elements read no
+// ghost node, interior nodes no ghost corner force — and within each
+// band the fused update is per-element pure, so the interior sweep can
+// run while ghost velocities are in flight exactly as the unfused list
+// kernels do. The tangle scan still covers the full owned range,
+// ascending, after both bands; the floor total commits only if it
+// passes.
+func (s *State) correctorOverlapFused(tm *timers.Set, hooks *Hooks, dt float64) error {
+	m := s.Mesh
+	nel := m.NOwnEl
+	b := hooks.Band
+
+	tm.Start(TimerQForce)
+	s.GetQForce(0, nel, s.U0, s.V0)
+	tm.Stop(TimerQForce)
+
+	tm.Start(TimerComms)
+	hooks.StartForces(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerGetAcc)
+	s.GetAccList(b.IntNds, dt)
+	tm.Stop(TimerGetAcc)
+
+	tm.Start(TimerComms)
+	hooks.FinishForces(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerGetAcc)
+	s.GetAccList(b.BndNds, dt)
+	tm.Stop(TimerGetAcc)
+	s.ExternalWork += -dt * s.pistonWork()
+
+	tm.Start(TimerComms)
+	hooks.StartVelocities(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerLagUpdate)
+	s.MoveNodes(dt, s.UBar, s.VBar, 0, m.NOwnNd)
+	fl := s.FusedUpdateList(dt, s.UBar, s.VBar, b.IntEls)
+	tm.Stop(TimerLagUpdate)
+
+	tm.Start(TimerComms)
+	hooks.FinishVelocities(s)
+	tm.Stop(TimerComms)
+
+	tm.Start(TimerLagUpdate)
+	s.MoveNodes(dt, s.UBar, s.VBar, m.NOwnNd, m.NNd)
+	fl += s.FusedUpdateList(dt, s.UBar, s.VBar, b.BndEls)
+	err := s.scanTangled(0, nel)
+	tm.Stop(TimerLagUpdate)
+	if err != nil {
+		return err
+	}
+	s.FloorEnergy += fl
+	return nil
+}

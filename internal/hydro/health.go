@@ -166,4 +166,5 @@ func (s *State) Load(m *Memento) {
 	s.Time, s.DtPrev = m.time, m.dtPrev
 	s.StepCount = m.stepCount
 	s.ExternalWork, s.FloorEnergy = m.externalWork, m.floorEnergy
+	s.RefreshAux()
 }

@@ -542,22 +542,37 @@ func TestHooksAreInvoked(t *testing.T) {
 }
 
 func TestTimersPopulated(t *testing.T) {
-	m := boxMesh(t, 4, 4)
-	s := uniformState(t, m, 1, 1, HGSubzonal)
-	tm := timers.NewSet()
-	for i := 0; i < 3; i++ {
-		if _, err := s.Step(tm, nil); err != nil {
-			t.Fatal(err)
-		}
+	// The fused schedule reports merged kernels under merged names; the
+	// unfused ablation keeps the paper's Table II breakdown.
+	cases := []struct {
+		name   string
+		fuse   bool
+		timers []string
+	}{
+		{"fused", true, []string{TimerQForce, TimerLagUpdate, TimerGetAcc}},
+		{"unfused", false, []string{TimerGetQ, TimerGetForce, TimerGetAcc, TimerGetGeom, TimerGetRho, TimerGetEin, TimerGetPC}},
 	}
-	for _, name := range []string{TimerGetQ, TimerGetForce, TimerGetAcc, TimerGetGeom, TimerGetRho, TimerGetEin, TimerGetPC} {
-		if tm.Count(name) == 0 {
-			t.Fatalf("timer %q never recorded", name)
-		}
-	}
-	// getdt skipped on the first step only.
-	if tm.Count(TimerGetDt) != 2 {
-		t.Fatalf("getdt count = %d, want 2", tm.Count(TimerGetDt))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := boxMesh(t, 4, 4)
+			s := uniformState(t, m, 1, 1, HGSubzonal)
+			s.Opt.Fuse = tc.fuse
+			tm := timers.NewSet()
+			for i := 0; i < 3; i++ {
+				if _, err := s.Step(tm, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, name := range tc.timers {
+				if tm.Count(name) == 0 {
+					t.Fatalf("timer %q never recorded", name)
+				}
+			}
+			// getdt skipped on the first step only.
+			if tm.Count(TimerGetDt) != 2 {
+				t.Fatalf("getdt count = %d, want 2", tm.Count(TimerGetDt))
+			}
+		})
 	}
 }
 

@@ -52,6 +52,12 @@ type kernelBodies struct {
 	// schedule's interior/boundary bands (see band.go).
 	accList, volList, rhoList, pcList func(lo, hi int)
 	einList                           func(chunk, lo, hi int)
+	// Fused-path bodies (see fused.go): the q+force sweep, the
+	// vol→rho→ein→pc update sweep and its list twin (all dispatched
+	// over the cache-tiled schedule), and the single-sweep operand of
+	// the fused CFL/divergence timestep reduction.
+	qforce, update, updateList func(chunk, lo, hi int)
+	cflDiv                     func(e int) (float64, float64)
 }
 
 // bindKernels creates the pre-bound kernel bodies. Called once from
@@ -77,6 +83,27 @@ func (s *State) bindKernels() {
 		}
 		return s.Opt.DivSafety / d
 	}
+	// Fused CFL + divergence operand: one coordinate/velocity gather
+	// feeds both conditions. Each component's expression matches its
+	// unfused body exactly, so ReduceMin2 returns the same (min, argmin)
+	// pairs as the two separate ReduceMin sweeps.
+	s.kb.cflDiv = func(e int) (float64, float64) {
+		var x, y, u, v [4]float64
+		s.gatherCoords(e, &x, &y)
+		s.gatherVel(e, s.U, s.V, &u, &v)
+		l := geom.MinLength(&x, &y)
+		sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
+		cfl := math.Inf(1)
+		if sig2 > 0 {
+			cfl = s.Opt.CFL * l / math.Sqrt(sig2)
+		}
+		d := math.Abs(geom.Divergence(&x, &y, &u, &v))
+		div := math.Inf(1)
+		if d != 0 {
+			div = s.Opt.DivSafety / d
+		}
+		return cfl, div
+	}
 	s.kb.q = s.qBody
 	s.kb.force = s.forceBody
 	s.kb.acc = s.accBody
@@ -90,6 +117,9 @@ func (s *State) bindKernels() {
 	s.kb.rhoList = s.rhoListBody
 	s.kb.pcList = s.pcListBody
 	s.kb.einList = s.einListBody
+	s.kb.qforce = s.qforceBody
+	s.kb.update = s.updateBody
+	s.kb.updateList = s.updateListBody
 }
 
 // DtCause identifies which condition controlled the last GetDt result
@@ -138,12 +168,20 @@ func (c DtCause) String() string {
 // wins the MINLOC).
 func (s *State) GetDt() (dt float64, controller int) {
 	nel := s.Mesh.NOwnEl
-	// CFL condition: dt_e = CFL * L / sqrt(c² + 2q/rho). Computed via
-	// an explicit parallel min-reduction — the expanded MINVAL/MINLOC
-	// loop the paper describes.
-	cflMin, cflArg := s.Pool.ReduceMin(nel, s.kb.cfl)
-	// Divergence condition: dt_e = DivSafety / |div u|.
-	divMin, divArg := s.Pool.ReduceMin(nel, s.kb.div)
+	// CFL condition: dt_e = CFL * L / sqrt(c² + 2q/rho), and the
+	// divergence condition dt_e = DivSafety / |div u| — each an
+	// explicit parallel min-reduction (the expanded MINVAL/MINLOC loop
+	// the paper describes). The fused path evaluates both conditions
+	// from one coordinate/velocity gather per element (ReduceMin2);
+	// the unfused ablation keeps the two separate sweeps.
+	var cflMin, divMin float64
+	var cflArg, divArg int
+	if s.Opt.Fuse {
+		cflMin, cflArg, divMin, divArg = s.Pool.ReduceMin2(nel, s.kb.cflDiv)
+	} else {
+		cflMin, cflArg = s.Pool.ReduceMin(nel, s.kb.cfl)
+		divMin, divArg = s.Pool.ReduceMin(nel, s.kb.div)
+	}
 	dt, controller = cflMin, cflArg
 	s.DtCause = DtCauseCFL
 	if divMin < dt {
@@ -179,8 +217,8 @@ func (s *State) qBody(plo, phi int) {
 	m := s.Mesh
 	cq1, cq2 := s.Opt.CQ1, s.Opt.CQ2
 	lo := s.ka.lo
+	f32 := s.Opt.Float32Aux
 	var x, y, u, v [4]float64
-	var nu, nv [4]float64
 	for e := lo + plo; e < lo+phi; e++ {
 		s.gatherCoords(e, &x, &y)
 		s.gatherVel(e, s.U, s.V, &u, &v)
@@ -195,12 +233,12 @@ func (s *State) qBody(plo, phi int) {
 			dxy := y[kp] - y[k]
 			// Only compressive edges (shortening) contribute.
 			if dux*dxx+duy*dxy >= 0 {
-				s.QEdge[4*e+k] = 0
+				s.putQEdge(4*e+k, 0, f32)
 				continue
 			}
 			du2 := dux*dux + duy*duy
 			if du2 == 0 {
-				s.QEdge[4*e+k] = 0
+				s.putQEdge(4*e+k, 0, f32)
 				continue
 			}
 			du := math.Sqrt(du2)
@@ -221,44 +259,62 @@ func (s *State) qBody(plo, phi int) {
 			oduy := -(v[ko2p] - v[ko2])
 			r := (odux*dux + oduy*duy) / du2
 			if nb := m.ElEl[e][k]; nb >= 0 {
-				s.gatherVel(nb, s.U, s.V, &nu, &nv)
 				// Neighbour's matching edge: the side of nb
 				// facing e, traversed in nb's CCW order, runs
 				// opposite to ours; its opposite edge (k'+2)
-				// runs parallel to ours again after negation.
-				kk := s.sideFacing(nb, e)
+				// runs parallel to ours again after negation. The
+				// side comes from the precomputed facing table
+				// (static topology), and only the two nodes of
+				// that edge are loaded — the limiter never needs
+				// the neighbour's other corners.
+				kk := int(s.facing[4*e+k])
+				if kk < 0 {
+					// Asymmetric adjacency on an owned element
+					// would be a partitioning bug.
+					panic("hydro: element adjacency not symmetric")
+				}
 				ko := (kk + 2) & 3
 				kop := (ko + 1) & 3
-				ndux := -(nu[kop] - nu[ko])
-				nduy := -(nv[kop] - nv[ko])
+				nbnd := &m.ElNd[nb]
+				ndux := -(s.U[nbnd[kop]] - s.U[nbnd[ko]])
+				nduy := -(s.V[nbnd[kop]] - s.V[nbnd[ko]])
 				rNb := (ndux*dux + nduy*duy) / du2
-				r = math.Min(rNb, r)
+				r = min(rNb, r)
 			}
 			psi := 0.0
 			if r > 0 {
-				psi = math.Min(1, r)
+				psi = min(1.0, r)
 			}
 			qEdge := (1 - psi) * rho * (cq2*du2 + cq1*cs*du)
 			qsum += qEdge
 			// Damper coefficient: force = QEdge * Δu along the
 			// edge pair, i.e. an edge pressure q acting over the
 			// edge length.
-			edgeLen := math.Hypot(dxx, dxy)
-			s.QEdge[4*e+k] = qEdge * edgeLen / du
+			edgeLen := math.Sqrt(dxx*dxx + dxy*dxy)
+			s.putQEdge(4*e+k, qEdge*edgeLen/du, f32)
 		}
 		s.Q[e] = 0.25 * qsum
 	}
 }
 
-// sideFacing returns the side index of element nb that borders element e.
-func (s *State) sideFacing(nb, e int) int {
-	for kk := 0; kk < 4; kk++ {
-		if s.Mesh.ElEl[nb][kk] == e {
-			return kk
-		}
+// putQEdge stores an edge damper coefficient into the active QEdge
+// stream — the float32 shadow under the Float32Aux ablation (f32),
+// the float64 array otherwise. The flag is passed in so callers hoist
+// the Options load out of their loops.
+func (s *State) putQEdge(i int, v float64, f32 bool) {
+	if f32 {
+		s.qedge32[i] = float32(v)
+	} else {
+		s.QEdge[i] = v
 	}
-	// Ghost-edge inconsistency would be a partitioning bug.
-	panic("hydro: element adjacency not symmetric")
+}
+
+// getQEdge loads an edge damper coefficient from the active stream.
+func (s *State) getQEdge(i int, f32 bool) float64 {
+	if f32 {
+		return float64(s.qedge32[i])
+	}
+	return s.QEdge[i]
 }
 
 // GetForce assembles corner forces for elements [lo, hi): the
@@ -274,9 +330,13 @@ func (s *State) GetForce(lo, hi int, uArr, vArr []float64) {
 func (s *State) forceBody(plo, phi int) {
 	lo := s.ka.lo
 	uArr, vArr := s.ka.u, s.ka.v
+	f32 := s.Opt.Float32Aux
+	// Only the edge-damper ablation and the hourglass filter act on
+	// nodal velocities; the default sub-zonal path never reads them, so
+	// the gather is skipped (values are unchanged either way).
+	needVel := s.Opt.EdgeQForces || s.Opt.Hourglass == HGFilter
 	var x, y, u, v [4]float64
 	var ax, ay [4]float64
-	var sv [4]float64
 	for e := lo + plo; e < lo+phi; e++ {
 		s.gatherCoords(e, &x, &y)
 		geom.BasisGrad(&x, &y, &ax, &ay)
@@ -286,7 +346,9 @@ func (s *State) forceBody(plo, phi int) {
 			s.FX[base+k] = pq * ax[k]
 			s.FY[base+k] = pq * ay[k]
 		}
-		s.gatherVel(e, uArr, vArr, &u, &v)
+		if needVel {
+			s.gatherVel(e, uArr, vArr, &u, &v)
+		}
 		if s.Opt.EdgeQForces {
 			// Ablation: apply the viscosity as equal-and-opposite
 			// dampers along each compressing edge instead of the
@@ -296,7 +358,7 @@ func (s *State) forceBody(plo, phi int) {
 				s.FY[base+k] -= s.Q[e] * ay[k]
 			}
 			for k := 0; k < 4; k++ {
-				kappa := s.QEdge[base+k]
+				kappa := s.getQEdge(base+k, f32)
 				if kappa == 0 {
 					continue
 				}
@@ -327,62 +389,79 @@ func (s *State) forceBody(plo, phi int) {
 				s.FY[base+k] -= coef * hv * geom.HourglassVector[k]
 			}
 		case HGSubzonal:
-			// Caramana sub-zonal pressures: each corner carries a
-			// pressure perturbation dp = c²·(ρ_corner - ρ) from
-			// its fixed sub-zonal mass and current sub-zone
-			// volume, and exerts dp·∇(sub-zone volume) on every
-			// node of the element — the exact force of Caramana &
-			// Shashkov's formulation, which resists hourglass and
-			// sliver distortions that leave the total element
-			// volume unchanged. Momentum conserving by
-			// construction (each ∇ sums to zero over nodes).
-			geom.SubVolumes(&x, &y, &sv)
-			cx, cy := geom.Centroid(&x, &y)
-			var mx, my [4]float64
-			for k := 0; k < 4; k++ {
-				kp := (k + 1) & 3
-				mx[k] = 0.5 * (x[k] + x[kp])
-				my[k] = 0.5 * (y[k] + y[kp])
-			}
-			// Floor crushed corners: a corner at (or through)
-			// zero volume feels the maximal restoring pressure.
-			svFloor := 0.01 * s.Vol[e]
-			// Stiffness scales with the full signal speed —
-			// including the viscous 2q/ρ term — so sub-zonal
-			// pressures keep restoring shape in cold shocked gas
-			// where the bare sound speed vanishes.
-			sig2 := s.Csq[e] + 2*s.Q[e]/s.Rho[e]
-			for k := 0; k < 4; k++ {
-				svk := sv[k]
-				if svk < svFloor {
-					svk = svFloor
-				}
-				dp := s.Opt.HGSubMerit * sig2 * (s.CMass[base+k]/svk - s.Rho[e])
-				if dp == 0 {
-					continue
-				}
-				kp := (k + 1) & 3
-				km := (k + 3) & 3
-				ko := (k + 2) & 3
-				// Sub-zone quad: node k, edge-k midpoint,
-				// centroid, edge-(k-1) midpoint.
-				qx := [4]float64{x[k], mx[k], cx, mx[km]}
-				qy := [4]float64{y[k], my[k], cy, my[km]}
-				var bx, by [4]float64
-				geom.BasisGrad(&qx, &qy, &bx, &by)
-				// Chain rule: midpoints couple to their two edge
-				// nodes with weight 1/2, the centroid to all four
-				// with weight 1/4.
-				s.FX[base+k] += dp * (bx[0] + 0.5*(bx[1]+bx[3]) + 0.25*bx[2])
-				s.FY[base+k] += dp * (by[0] + 0.5*(by[1]+by[3]) + 0.25*by[2])
-				s.FX[base+kp] += dp * (0.5*bx[1] + 0.25*bx[2])
-				s.FY[base+kp] += dp * (0.5*by[1] + 0.25*by[2])
-				s.FX[base+km] += dp * (0.5*bx[3] + 0.25*bx[2])
-				s.FY[base+km] += dp * (0.5*by[3] + 0.25*by[2])
-				s.FX[base+ko] += dp * 0.25 * bx[2]
-				s.FY[base+ko] += dp * 0.25 * by[2]
-			}
+			s.subzonalForce(e, &x, &y, s.Rho[e], s.Csq[e], s.Q[e], f32)
 		}
+	}
+}
+
+// subzonalForce adds the Caramana sub-zonal pressure forces of element
+// e to its corner forces: each corner carries a pressure perturbation
+// dp = c²·(ρ_corner - ρ) from its fixed sub-zonal mass and current
+// sub-zone volume, and exerts dp·∇(sub-zone volume) on every node of
+// the element — the exact force of Caramana & Shashkov's formulation,
+// which resists hourglass and sliver distortions that leave the total
+// element volume unchanged. Momentum conserving by construction (each
+// ∇ sums to zero over nodes).
+//
+// Shared by the unfused forceBody and the fused qforceBody so the two
+// paths provably run identical floating-point sequences. The sub-zone
+// quad's basis gradients are expanded algebraically: for the quad
+// (node k, edge-k midpoint, centroid, edge-(k-1) midpoint) the four
+// ∂A/∂ values collapse onto ±two independent components per axis
+// (negation and power-of-two scaling are exact in IEEE, so the
+// expansion is bit-identical to calling geom.BasisGrad on the
+// constructed quad), and the chain-rule weights — midpoints couple to
+// their two edge nodes with 1/2, the centroid to all four with 1/4 —
+// fold into four fused per-corner updates.
+func (s *State) subzonalForce(e int, x, y *[4]float64, rho, csq, q float64, f32 bool) {
+	base := 4 * e
+	cx, cy := geom.Centroid(x, y)
+	var mx, my [4]float64
+	for k := 0; k < 4; k++ {
+		kp := (k + 1) & 3
+		mx[k] = 0.5 * (x[k] + x[kp])
+		my[k] = 0.5 * (y[k] + y[kp])
+	}
+	// Floor crushed corners: a corner at (or through) zero volume
+	// feels the maximal restoring pressure.
+	svFloor := 0.01 * s.Vol[e]
+	// Stiffness scales with the full signal speed — including the
+	// viscous 2q/ρ term — so sub-zonal pressures keep restoring shape
+	// in cold shocked gas where the bare sound speed vanishes.
+	sig2 := csq + 2*q/rho
+	for k := 0; k < 4; k++ {
+		km := (k + 3) & 3
+		// Sub-zone area by the same shoelace expression
+		// geom.SubVolumes evaluates on the constructed quad.
+		svk := 0.5 * ((cx-x[k])*(my[km]-my[k]) - (mx[km]-mx[k])*(cy-y[k]))
+		if svk < svFloor {
+			svk = svFloor
+		}
+		cm := s.CMass[base+k]
+		if f32 {
+			cm = float64(s.cmass32[base+k])
+		}
+		dp := s.Opt.HGSubMerit * sig2 * (cm/svk - rho)
+		if dp == 0 {
+			continue
+		}
+		kp := (k + 1) & 3
+		ko := (k + 2) & 3
+		// Independent basis components: bx0/by0 belong to node k's
+		// own ∂, bx1/by1 to the centroid direction; the other two
+		// quad gradients are their exact negations.
+		bx0 := 0.5 * (my[k] - my[km])
+		by0 := 0.5 * (mx[km] - mx[k])
+		bx1 := 0.5 * (cy - y[k])
+		by1 := 0.5 * (x[k] - cx)
+		s.FX[base+k] += dp * (bx0 - 0.25*bx0)
+		s.FY[base+k] += dp * (by0 - 0.25*by0)
+		s.FX[base+kp] += dp * (0.5*bx1 - 0.25*bx0)
+		s.FY[base+kp] += dp * (0.5*by1 - 0.25*by0)
+		s.FX[base+km] += dp * (-0.5*bx1 - 0.25*bx0)
+		s.FY[base+km] += dp * (-0.5*by1 - 0.25*by0)
+		s.FX[base+ko] -= dp * 0.25 * bx0
+		s.FY[base+ko] -= dp * 0.25 * by0
 	}
 }
 

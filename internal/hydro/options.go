@@ -75,6 +75,28 @@ type Options struct {
 	// isotropic addition to the pressure — an ablation of the force
 	// formulation.
 	EdgeQForces bool
+
+	// Fuse runs the step on the fused element passes: the viscosity +
+	// corner-force pair and the geometry→density→energy→EOS update
+	// chain each become a single cache-tiled pool sweep that streams
+	// X/Y/U/V once per element instead of re-gathering them per kernel
+	// (see DESIGN.md §13). Bitwise-identical to the unfused kernels at
+	// any thread count; on by default (DefaultOptions) — switching it
+	// off selects the paper's one-kernel-per-phase structure as the
+	// ablation.
+	Fuse bool
+	// FuseTile overrides the fused sweeps' tile width in elements per
+	// body invocation; 0 derives it from par.TileFor and the fused
+	// working-set estimate. A tunable for machines whose per-core cache
+	// differs from the par.L2PerCore assumption.
+	FuseTile int
+	// Float32Aux stores the widest auxiliary element streams — the
+	// fixed corner masses (CMass) and the per-edge viscous damper
+	// coefficients (QEdge) — as float32, halving their memory traffic
+	// in the force kernel. An opt-in accuracy/bandwidth ablation: the
+	// evolved fields stay float64, but forces see rounded inputs, so
+	// results are no longer bitwise-comparable to the float64 runs.
+	Float32Aux bool
 }
 
 // DefaultOptions returns the standard BookLeaf-style controls for the
@@ -93,6 +115,7 @@ func DefaultOptions(materials ...eos.Material) Options {
 		HGKappa:    0.1,
 		HGSubMerit: 1.0,
 		Materials:  materials,
+		Fuse:       true,
 	}
 }
 
@@ -113,6 +136,8 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("hydro: viscosity coefficients must be non-negative (cq1=%v cq2=%v)", o.CQ1, o.CQ2)
 	case len(o.Materials) == 0:
 		return fmt.Errorf("hydro: no materials configured")
+	case o.FuseTile < 0:
+		return fmt.Errorf("hydro: FuseTile = %v, must be non-negative", o.FuseTile)
 	}
 	for i, m := range o.Materials {
 		if m == nil {

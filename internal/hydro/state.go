@@ -100,6 +100,28 @@ type State struct {
 	// allocation-free.
 	ka kernelArgs
 	kb kernelBodies
+
+	// facing[4*e+k] is the side index of neighbour ElEl[e][k] that
+	// borders e, or -1 when there is no symmetric entry (no neighbour,
+	// or a ghost-fringe element whose own adjacency was trimmed by the
+	// partitioner). Mesh topology is static for the life of a State, so
+	// this replaces the per-edge linear search the viscosity limiter
+	// used to run (sideFacing) with one precomputed byte.
+	facing []int8
+
+	// fuseTile is the tile width (elements per fused-body invocation)
+	// the cache-tiled fused sweeps dispatch over: Options.FuseTile, or
+	// par.TileFor(fusedBytesPerElem) when unset.
+	fuseTile int
+
+	// cmass32/qedge32 are the float32 shadow streams of the
+	// Options.Float32Aux ablation: the force kernel reads corner masses
+	// and edge damper coefficients from these (half the traffic), while
+	// the float64 arrays keep checkpoint/migration formats unchanged.
+	// qedge32 is rewritten by every GetQ before GetForce reads it;
+	// cmass32 must be refreshed whenever CMass mutates outside the step
+	// (see RefreshAux). Both nil unless the ablation is on.
+	cmass32, qedge32 []float32
 }
 
 // NewState allocates a State over m with initial per-element density
@@ -182,9 +204,52 @@ func NewState(m *mesh.Mesh, opt Options, rho, ein []float64) (*State, error) {
 			s.NdMass[m.ElNd[e][k]] += s.CMass[4*e+k]
 		}
 	}
+	// Facing-side table: for each adjacency entry, the neighbour's side
+	// that points back. Owned elements must have symmetric adjacency (a
+	// partitioning invariant the viscosity kernel still asserts); ghost
+	// elements may legitimately lack the back-pointer and get -1.
+	s.facing = make([]int8, 4*nel)
+	for e := 0; e < nel; e++ {
+		for k := 0; k < 4; k++ {
+			s.facing[4*e+k] = -1
+			nb := m.ElEl[e][k]
+			if nb < 0 {
+				continue
+			}
+			for kk := 0; kk < 4; kk++ {
+				if m.ElEl[nb][kk] == e {
+					s.facing[4*e+k] = int8(kk)
+					break
+				}
+			}
+		}
+	}
+	if opt.Float32Aux {
+		s.cmass32 = make([]float32, 4*nel)
+		s.qedge32 = make([]float32, 4*nel)
+	}
+	s.RefreshAux()
+	s.fuseTile = opt.FuseTile
+	if s.fuseTile == 0 {
+		s.fuseTile = par.TileFor(fusedBytesPerElem)
+	}
 	s.bindKernels()
 	s.GetPC(0, nel)
 	return s, nil
+}
+
+// RefreshAux rebuilds the float32 shadow of the fixed corner masses
+// after CMass mutates outside the Lagrangian step — the ALE corner-mass
+// update, a checkpoint restore, or a memento rollback. A no-op unless
+// the Options.Float32Aux ablation is on. (The qedge32 shadow needs no
+// refresh: every GetQ rewrites it in full before GetForce reads it.)
+func (s *State) RefreshAux() {
+	if !s.Opt.Float32Aux {
+		return
+	}
+	for i, v := range s.CMass {
+		s.cmass32[i] = float32(v)
+	}
 }
 
 // gatherCoords loads the current coordinates of element e's nodes.

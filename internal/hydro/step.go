@@ -98,42 +98,64 @@ func (s *State) Step(tm *timers.Set, hooks *Hooks) (float64, error) {
 	copy(s.Ein0, s.Ein)
 
 	// --- Predictor: evolve to the half step with start-of-step
-	// velocities (no acceleration, per Algorithm 1).
-	tm.Start(TimerGetQ)
-	s.GetQ(0, nel)
-	tm.Stop(TimerGetQ)
+	// velocities (no acceleration, per Algorithm 1). The fused path
+	// (Options.Fuse, default) runs the same per-element arithmetic as
+	// two cache-tiled sweeps — q+force, then vol→rho→ein→pc — instead
+	// of six kernels (see fused.go); fields are bitwise-identical.
+	var err error
+	if s.Opt.Fuse {
+		tm.Start(TimerQForce)
+		s.GetQForce(0, nel, s.U0, s.V0)
+		tm.Stop(TimerQForce)
 
-	tm.Start(TimerGetForce)
-	s.GetForce(0, nel, s.U0, s.V0)
-	tm.Stop(TimerGetForce)
+		tm.Start(TimerLagUpdate)
+		_, err = s.FusedUpdate(0.5*dt, s.U0, s.V0, 0, nel) // half-step floor is transient
+		tm.Stop(TimerLagUpdate)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		tm.Start(TimerGetQ)
+		s.GetQ(0, nel)
+		tm.Stop(TimerGetQ)
 
-	tm.Start(TimerGetGeom)
-	err := s.GetGeom(0.5*dt, s.U0, s.V0, 0, nel)
-	tm.Stop(TimerGetGeom)
-	if err != nil {
-		return 0, err
+		tm.Start(TimerGetForce)
+		s.GetForce(0, nel, s.U0, s.V0)
+		tm.Stop(TimerGetForce)
+
+		tm.Start(TimerGetGeom)
+		err = s.GetGeom(0.5*dt, s.U0, s.V0, 0, nel)
+		tm.Stop(TimerGetGeom)
+		if err != nil {
+			return 0, err
+		}
+
+		tm.Start(TimerGetRho)
+		s.GetRho(0, nel)
+		tm.Stop(TimerGetRho)
+
+		tm.Start(TimerGetEin)
+		s.GetEin(0.5*dt, s.U0, s.V0, 0, nel) // half-step floor is transient
+		tm.Stop(TimerGetEin)
+
+		tm.Start(TimerGetPC)
+		s.GetPC(0, nel)
+		tm.Stop(TimerGetPC)
 	}
-
-	tm.Start(TimerGetRho)
-	s.GetRho(0, nel)
-	tm.Stop(TimerGetRho)
-
-	tm.Start(TimerGetEin)
-	s.GetEin(0.5*dt, s.U0, s.V0, 0, nel) // half-step floor is transient
-	tm.Stop(TimerGetEin)
-
-	tm.Start(TimerGetPC)
-	s.GetPC(0, nel)
-	tm.Stop(TimerGetPC)
 
 	// --- Corrector: forces from the half-step state, acceleration,
 	// time-centred geometry and energy. The overlapped schedule hides
 	// each halo exchange behind the interior portion of the dependent
-	// kernels; both schedules produce bitwise-identical fields (see
-	// DESIGN.md §10).
-	if hooks.overlapped() {
+	// kernels; all four schedules (sync/overlap x fused/unfused)
+	// produce bitwise-identical fields (see DESIGN.md §10, §13).
+	switch {
+	case s.Opt.Fuse && hooks.overlapped():
+		err = s.correctorOverlapFused(tm, hooks, dt)
+	case s.Opt.Fuse:
+		err = s.correctorSyncFused(tm, hooks, dt)
+	case hooks.overlapped():
 		err = s.correctorOverlap(tm, hooks, dt)
-	} else {
+	default:
 		err = s.correctorSync(tm, hooks, dt)
 	}
 	if err != nil {

@@ -34,7 +34,10 @@
 // come from the model's structure and the per-kernel descriptors.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ExecModel is how a platform executes the hydro kernels.
 type ExecModel int
@@ -295,8 +298,15 @@ func (p *Platform) deviceTime(k Kernel, n float64) float64 {
 
 // Overall returns the modelled total runtime (sum of kernels).
 func (p *Platform) Overall(w Workload) float64 {
+	return p.OverallOf(Kernels, w)
+}
+
+// OverallOf returns the modelled total runtime over an explicit kernel
+// inventory — Kernels for the paper-structure step, FusedKernels() for
+// the fused element passes.
+func (p *Platform) OverallOf(ks []Kernel, w Workload) float64 {
 	var sum float64
-	for _, k := range Kernels {
+	for _, k := range ks {
 		sum += p.KernelTime(k, w)
 	}
 	return sum
@@ -312,9 +322,10 @@ func KernelByName(name string) (Kernel, bool) {
 	return Kernel{}, false
 }
 
+// maxf is math.Max: NaN-propagating (a NaN operand poisons the
+// roofline instead of being silently dropped — `a > b` is false for
+// NaN, which used to return the other operand and hide a corrupted
+// descriptor) and max(+0, -0) = +0.
 func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	return math.Max(a, b)
 }

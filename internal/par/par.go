@@ -60,6 +60,14 @@ type sumSlot struct {
 	_ [56]byte
 }
 
+// min2Slot is a per-chunk partial of a fused two-operand MINLOC
+// reduction (ReduceMin2), padded to a cache line.
+type min2Slot struct {
+	v1, v2 float64
+	a1, a2 int
+	_      [32]byte
+}
+
 // Pool executes loops across a fixed number of logical threads.
 // The zero value is a serial pool.
 type Pool struct {
@@ -88,6 +96,20 @@ type Pool struct {
 	minSlots         []minSlot
 	sumSlots         []sumSlot
 	minBody, sumBody func(chunk, lo, hi int)
+
+	// Fused two-operand reduction state (ReduceMin2): one sweep
+	// evaluates both operands, so kernels that feed two MINLOC
+	// reductions from the same gathers stream their arrays once.
+	redF2     func(i int) (float64, float64)
+	min2Slots []min2Slot
+	min2Body  func(chunk, lo, hi int)
+
+	// Cache-tiling state (ForChunksTiled): tile is the armed tile
+	// width, bodyT the per-tile body, and tileBody the pre-bound chunk
+	// body that walks a chunk tile by tile.
+	tile     int
+	bodyT    func(chunk, lo, hi int)
+	tileBody func(chunk, lo, hi int)
 }
 
 // Serial is the single-threaded pool used by flat-MPI ranks.
@@ -168,6 +190,22 @@ func (p *Pool) ensureStarted() {
 				s += f(i)
 			}
 			p.sumSlots[c].v = s
+		}
+		p.min2Slots = make([]min2Slot, t)
+		p.min2Body = func(c, lo, hi int) {
+			v1, a1, v2, a2 := reduceMin2Range(lo, hi, p.redF2)
+			sl := &p.min2Slots[c]
+			sl.v1, sl.a1, sl.v2, sl.a2 = v1, a1, v2, a2
+		}
+		p.tileBody = func(c, lo, hi int) {
+			w, b := p.tile, p.bodyT
+			for tlo := lo; tlo < hi; tlo += w {
+				thi := tlo + w
+				if thi > hi {
+					thi = hi
+				}
+				b(c, tlo, thi)
+			}
 		}
 		for w := 0; w < t-1; w++ {
 			p.wake[w] = make(chan struct{}, 1)
@@ -337,4 +375,117 @@ func (p *Pool) ReduceSum(n int, f func(i int) float64) float64 {
 		s += p.sumSlots[c].v
 	}
 	return s
+}
+
+// ReduceMin2 is a fused pair of MINLOC reductions: one sweep evaluates
+// f(i) = (a_i, b_i) and returns the minimum and argmin of each
+// component. The chunk split, the ascending per-chunk scan with
+// strict-less updates, and the chunk-order combination are identical to
+// two separate ReduceMin calls over the same n, so each component's
+// (min, argmin) is bitwise-identical to what ReduceMin would return —
+// the fusion only halves the number of array sweeps feeding the
+// operands (the getdt CFL + divergence pair shares its coordinate
+// gathers this way).
+func (p *Pool) ReduceMin2(n int, f func(i int) (float64, float64)) (min1 float64, arg1 int, min2 float64, arg2 int) {
+	if n <= 0 {
+		inf := math.Inf(1)
+		return inf, -1, inf, -1
+	}
+	t := p.chunks(n)
+	if t == 1 || p.closed {
+		return reduceMin2Range(0, n, f)
+	}
+	p.ensureStarted()
+	p.redF2 = f
+	p.bodyR, p.bodyC = nil, p.min2Body
+	p.run(n, t)
+	p.bodyC, p.redF2 = nil, nil
+	s0 := &p.min2Slots[0]
+	min1, arg1, min2, arg2 = s0.v1, s0.a1, s0.v2, s0.a2
+	for c := 1; c < t; c++ {
+		sl := &p.min2Slots[c]
+		if sl.v1 < min1 {
+			min1, arg1 = sl.v1, sl.a1
+		}
+		if sl.v2 < min2 {
+			min2, arg2 = sl.v2, sl.a2
+		}
+	}
+	return min1, arg1, min2, arg2
+}
+
+func reduceMin2Range(lo, hi int, f func(i int) (float64, float64)) (float64, int, float64, int) {
+	v1, v2 := f(lo)
+	a1, a2 := lo, lo
+	for i := lo + 1; i < hi; i++ {
+		w1, w2 := f(i)
+		if w1 < v1 {
+			v1, a1 = w1, i
+		}
+		if w2 < v2 {
+			v2, a2 = w2, i
+		}
+	}
+	return v1, a1, v2, a2
+}
+
+// L2PerCore is the assumed per-core L2 capacity in bytes that TileFor
+// sizes tiles against. 512 KiB is the conservative bottom of the range
+// spanned by the hardware this code targets (Broadwell 256 KiB + large
+// shared L3 up to Skylake-SP/Zen at 1 MiB-plus); undershooting costs a
+// little loop overhead, overshooting evicts the tile between passes.
+const L2PerCore = 512 << 10
+
+// TileFor returns the default tile width, in iterations, for a fused
+// body whose per-iteration working set is bytesPerIter: half the
+// per-core L2 (the other half is left to the streamed input arrays and
+// prefetch), rounded down to a multiple of minChunkIters and floored at
+// minChunkIters. Derived the same way minChunkIters was — a budget
+// justified by micro-benchmark (BenchmarkTiledSweep), then frozen as a
+// pure function so schedules stay reproducible.
+func TileFor(bytesPerIter int) int {
+	if bytesPerIter <= 0 {
+		return minChunkIters
+	}
+	w := (L2PerCore / 2) / bytesPerIter
+	w -= w % minChunkIters
+	if w < minChunkIters {
+		w = minChunkIters
+	}
+	return w
+}
+
+// ForChunksTiled is ForChunks with each chunk walked in tile-width
+// sub-ranges: body(chunk, tlo, thi) runs once per tile, tiles within a
+// chunk executing sequentially in ascending order on the chunk's
+// thread. Used by fused multi-array bodies so the slice of each array a
+// body invocation touches stays cache-resident across the fused
+// phases. tile <= 0 disables tiling (one invocation per chunk). The
+// chunk split is exactly ForChunks' split — tiling subdivides chunks,
+// never moves work between them — so per-chunk reductions keyed on the
+// chunk index are unaffected.
+func (p *Pool) ForChunksTiled(n, tile int, body func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if tile <= 0 {
+		tile = n
+	}
+	t := p.chunks(n)
+	if t == 1 || p.closed {
+		for tlo := 0; tlo < n; tlo += tile {
+			thi := tlo + tile
+			if thi > n {
+				thi = n
+			}
+			body(0, tlo, thi)
+		}
+		return
+	}
+	p.ensureStarted()
+	p.tile = tile
+	p.bodyT = body
+	p.bodyR, p.bodyC = nil, p.tileBody
+	p.run(n, t)
+	p.bodyC, p.bodyT = nil, nil
 }

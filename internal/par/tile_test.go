@@ -1,0 +1,205 @@
+package par
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestForChunksTiledCoversRangeExactlyOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 7} {
+		for _, n := range []int{0, 1, 5, 100, 1023, 4096} {
+			for _, tile := range []int{-1, 0, 1, 7, 64, 100000} {
+				p := New(threads)
+				var mu sync.Mutex
+				hits := make([]int, n)
+				p.ForChunksTiled(n, tile, func(c, lo, hi int) {
+					mu.Lock()
+					for i := lo; i < hi; i++ {
+						hits[i]++
+					}
+					mu.Unlock()
+				})
+				p.Close()
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("threads=%d n=%d tile=%d: index %d visited %d times", threads, n, tile, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForChunksTiledSubdividesChunks pins the scheduling contract the
+// fused hydro kernels rely on: tiles never cross a chunk boundary, run
+// in ascending order within their chunk, carry the chunk's own index
+// (so per-chunk reduction slots stay race-free), and no tile exceeds
+// the requested width.
+func TestForChunksTiledSubdividesChunks(t *testing.T) {
+	for _, threads := range []int{2, 4, 8} {
+		p := New(threads)
+		n, tile := 4999, 64
+		nch := p.NumChunks(n)
+		var mu sync.Mutex
+		lastHi := make(map[int]int, nch)
+		p.ForChunksTiled(n, tile, func(c, lo, hi int) {
+			wlo, whi := chunkRange(n, nch, c)
+			mu.Lock()
+			defer mu.Unlock()
+			if lo < wlo || hi > whi {
+				t.Errorf("threads=%d: tile [%d,%d) escapes chunk %d = [%d,%d)", threads, lo, hi, c, wlo, whi)
+			}
+			if hi-lo > tile {
+				t.Errorf("threads=%d: tile [%d,%d) wider than %d", threads, lo, hi, tile)
+			}
+			prev, seen := lastHi[c]
+			if !seen {
+				prev = wlo
+			}
+			if lo != prev {
+				t.Errorf("threads=%d chunk %d: tile starts at %d, want %d (ascending, contiguous)", threads, c, lo, prev)
+			}
+			lastHi[c] = hi
+		})
+		p.Close()
+		for c := 0; c < nch; c++ {
+			_, whi := chunkRange(n, nch, c)
+			if lastHi[c] != whi {
+				t.Fatalf("threads=%d chunk %d: tiles end at %d, want %d", threads, c, lastHi[c], whi)
+			}
+		}
+	}
+}
+
+func TestReduceMin2MatchesTwoReduceMins(t *testing.T) {
+	vals1 := []float64{5, 3, 8, 3, -1, 7, -1, 2, 9, 4, 0, 6}
+	vals2 := []float64{2, 9, 1, 4, 6, 1, 3, 8, 1, 5, 7, 0}
+	for _, threads := range []int{1, 2, 3, 8, 20} {
+		p := New(threads)
+		w1, wa1 := p.ReduceMin(len(vals1), func(i int) float64 { return vals1[i] })
+		w2, wa2 := p.ReduceMin(len(vals2), func(i int) float64 { return vals2[i] })
+		g1, ga1, g2, ga2 := p.ReduceMin2(len(vals1), func(i int) (float64, float64) {
+			return vals1[i], vals2[i]
+		})
+		p.Close()
+		if g1 != w1 || ga1 != wa1 || g2 != w2 || ga2 != wa2 {
+			t.Fatalf("threads=%d: ReduceMin2 = (%v,%d,%v,%d), want (%v,%d,%v,%d)",
+				threads, g1, ga1, g2, ga2, w1, wa1, w2, wa2)
+		}
+	}
+}
+
+func TestReduceMin2Empty(t *testing.T) {
+	v1, a1, v2, a2 := New(4).ReduceMin2(0, func(int) (float64, float64) { return 0, 0 })
+	if !math.IsInf(v1, 1) || a1 != -1 || !math.IsInf(v2, 1) || a2 != -1 {
+		t.Fatalf("empty ReduceMin2 = (%v,%d,%v,%d), want (+Inf,-1,+Inf,-1)", v1, a1, v2, a2)
+	}
+}
+
+func TestReduceMin2TieBreaksLowestIndexIndependently(t *testing.T) {
+	vals1 := []float64{4, 1, 2, 1, 1}
+	vals2 := []float64{3, 3, 0, 0, 9}
+	for _, threads := range []int{1, 2, 5} {
+		_, a1, _, a2 := New(threads).ReduceMin2(len(vals1), func(i int) (float64, float64) {
+			return vals1[i], vals2[i]
+		})
+		if a1 != 1 || a2 != 2 {
+			t.Fatalf("threads=%d: argmins = (%d,%d), want (1,2)", threads, a1, a2)
+		}
+	}
+}
+
+func TestReduceMin2PropertyAgainstSerial(t *testing.T) {
+	f := func(raw []float64, threads uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		half := len(raw) / 2
+		v1s, v2s := make([]float64, half), make([]float64, half)
+		for i := 0; i < half; i++ {
+			a, b := raw[i], raw[half+i]
+			if math.IsNaN(a) {
+				a = 0
+			}
+			if math.IsNaN(b) {
+				b = 0
+			}
+			v1s[i], v2s[i] = a, b
+		}
+		op := func(i int) (float64, float64) { return v1s[i], v2s[i] }
+		s1, sa1, s2, sa2 := New(1).ReduceMin2(half, op)
+		p1, pa1, p2, pa2 := New(int(threads%16)+1).ReduceMin2(half, op)
+		return s1 == p1 && sa1 == pa1 && s2 == p2 && sa2 == pa2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTileForBudget(t *testing.T) {
+	for _, tc := range []struct{ bytes, want int }{
+		{0, minChunkIters},       // degenerate: floor
+		{-8, minChunkIters},      // degenerate: floor
+		{1 << 20, minChunkIters}, // enormous iteration: floor
+		{8, (L2PerCore / 2) / 8}, // 32768, already a multiple of 128
+		{336, 768},               // fused-update-sized iteration
+		{100, 2560},              // rounds down to a multiple of 128
+	} {
+		if got := TileFor(tc.bytes); got != tc.want {
+			t.Errorf("TileFor(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+	for bytes := 1; bytes < 4096; bytes += 13 {
+		w := TileFor(bytes)
+		if w < minChunkIters {
+			t.Fatalf("TileFor(%d) = %d below minChunkIters", bytes, w)
+		}
+		if w%minChunkIters != 0 {
+			t.Fatalf("TileFor(%d) = %d not a multiple of minChunkIters", bytes, w)
+		}
+		if w > minChunkIters && w*bytes > L2PerCore/2 {
+			t.Fatalf("TileFor(%d) = %d exceeds the L2 budget", bytes, w)
+		}
+	}
+}
+
+func TestTiledDispatchZeroAllocs(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	cbody := func(c, lo, hi int) {}
+	red2 := func(i int) (float64, float64) { return float64(i), float64(-i) }
+	p.ForChunksTiled(4096, 128, cbody) // warm up: spawn workers, size slots
+	if n := testing.AllocsPerRun(50, func() { p.ForChunksTiled(4096, 128, cbody) }); n != 0 {
+		t.Errorf("ForChunksTiled allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { p.ReduceMin2(4096, red2) }); n != 0 {
+		t.Errorf("ReduceMin2 allocates %v per call", n)
+	}
+}
+
+func TestForChunksTiledClosedPoolInline(t *testing.T) {
+	p := New(4)
+	p.For(1024, func(lo, hi int) {})
+	p.Close()
+	var tiles int
+	prevHi := 0
+	p.ForChunksTiled(1000, 256, func(c, lo, hi int) {
+		if c != 0 {
+			t.Fatalf("closed pool tile carries chunk %d, want 0", c)
+		}
+		if lo != prevHi {
+			t.Fatalf("closed pool tile starts at %d, want %d", lo, prevHi)
+		}
+		prevHi = hi
+		tiles++
+	})
+	if tiles != 4 || prevHi != 1000 {
+		t.Fatalf("closed pool ran %d tiles ending at %d, want 4 ending at 1000", tiles, prevHi)
+	}
+	v1, a1, v2, a2 := p.ReduceMin2(3, func(i int) (float64, float64) { return float64(i), float64(2 - i) })
+	if v1 != 0 || a1 != 0 || v2 != 0 || a2 != 2 {
+		t.Fatalf("closed ReduceMin2 = (%v,%d,%v,%d), want (0,0,0,2)", v1, a1, v2, a2)
+	}
+}
