@@ -30,6 +30,13 @@
 # tile-width invariance sweep, the float32 ablation) plus the hydro
 # zero-alloc and timer pins at a 4-thread scheduler — the suite that
 # guards the default step path.
+# tier2-serve races the serving layer end to end: the bleaf-served job
+# API over httptest — submit→poll→result bitwise parity with a direct
+# run, malformed-deck 400s, cancel slot reclamation, N concurrent jobs
+# on a small warm-pool fleet with a whitebox no-pool-sharing probe,
+# priority preemption with bitwise-identical resume (serial and
+# ranks=2 decks), admission-control boundary arithmetic and the
+# streaming metrics endpoint.
 # tier2-race runs the FULL tier-1 suite under the race detector at a
 # starved and an oversubscribed scheduler — the whole-program
 # complement to tier2-fault's targeted matrix, catching races in code
@@ -41,14 +48,14 @@
 # diffs them against the committed BENCH_step.json via
 # bleaf-bench -compare, failing when a benchmark slows by more than
 # THRESHOLD (fraction, default 0.10) or allocates more.
-# fuzz gives the deck-parser fuzz target a short budget; lengthen with
-# FUZZTIME=5m for a real session.
+# fuzz gives the deck-parser and HTTP-submission fuzz targets a short
+# budget each; lengthen with FUZZTIME=5m for a real session.
 
 GO ?= go
 FUZZTIME ?= 30s
 THRESHOLD ?= 0.10
 
-.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-race test bench bench-all bench-compare fuzz clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-serve tier2-race test bench bench-all bench-compare fuzz clean
 
 all: build
 
@@ -89,16 +96,22 @@ tier2-fuse:
 	$(GO) test -race . -run 'Fuse|Float32Aux' -count=1
 	GOMAXPROCS=4 $(GO) test -race ./internal/hydro -run 'StepZeroAllocs|Timers' -count=1
 
+tier2-serve:
+	$(GO) test -race ./internal/serve -count=1
+
 tier2-race:
 	GOMAXPROCS=1 $(GO) test -race ./... -count=1
 	GOMAXPROCS=8 $(GO) test -race ./... -count=1
 
-test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-race
+test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-serve tier2-race
 
-# Native fuzzing for the deck parser (seed corpus: decks/ plus the
-# regression inputs under internal/config/testdata/fuzz).
+# Native fuzzing: the deck parser (seed corpus: decks/ plus the
+# regression inputs under internal/config/testdata/fuzz) and the
+# bleaf-served HTTP submission path (AdmitOnly server, so the fuzzer
+# explores the parse/predict/admit surface without running hydro).
 fuzz:
 	$(GO) test -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/config
+	$(GO) test -fuzz=FuzzSubmitDeck -fuzztime=$(FUZZTIME) ./internal/serve
 
 # The step-path benchmarks, 5 repetitions each, aggregated into
 # BENCH_step.json (min ns/op, max allocs/op per name). -merge keeps

@@ -121,6 +121,27 @@ type Config struct {
 	Checkpoint      string
 	CheckpointEvery int
 	Resume          string
+	// ResumeFrom restores an in-memory snapshot before stepping — the
+	// serving daemon's preemption/resume path, which never touches the
+	// filesystem. Takes precedence over Resume. Like a file dump it is
+	// partition-independent: a leg preempted at N ranks may resume at
+	// any rank count.
+	ResumeFrom *checkpoint.Snapshot
+
+	// Control, when non-nil, attaches a live supervisor handle to the
+	// run: per-step progress and periodic obs snapshots flow out
+	// through it, and Cancel/Preempt requests flow in (see Control).
+	// A Control is single-use; make a fresh one per Run.
+	Control *Control
+
+	// Pool, when non-nil, is an externally owned warm worker pool the
+	// run's kernels execute on instead of creating (and closing) its
+	// own — the serving daemon's warm-fleet path, which amortises pool
+	// spin-up across many small jobs. The caller keeps ownership and
+	// must not drive the pool from elsewhere while the run is active.
+	// Serial runs only (parallel ranks each own a pool); overrides
+	// Threads with the pool's width.
+	Pool *par.Pool
 
 	// RollbackEvery is the cadence, in steps, of the rolling in-memory
 	// snapshot backing step-level rollback-retry: on a timestep
@@ -216,7 +237,24 @@ func (c *Config) normalise() error {
 	if c.Overlap && c.ScatterAcc {
 		return fmt.Errorf("bookleaf: Overlap requires the gather acceleration (ScatterAcc sweeps all elements at once and has no interior/boundary split)")
 	}
+	if c.Pool != nil && c.Ranks > 1 {
+		return fmt.Errorf("bookleaf: Pool is serial-only (parallel ranks each own a pool)")
+	}
+	if c.Pool != nil {
+		c.Threads = c.Pool.Threads
+		if c.Threads < 1 {
+			c.Threads = 1
+		}
+	}
 	return nil
+}
+
+// Validate normalises a copy of the config and reports whether Run
+// would accept its shape (problem selection is still checked at run
+// time). The serving daemon calls it at admission so a malformed deck
+// is a 400, not a failed job.
+func (c Config) Validate() error {
+	return (&c).normalise()
 }
 
 // SuperviseConfig configures the rank-supervision layer (deck section
@@ -500,6 +538,23 @@ func loadSnapshot(path, problem string, nx, ny, nel, nnd int) (*checkpoint.Snaps
 	return sn, nil
 }
 
+// resumeSnapshot resolves the run's resume source: the in-memory
+// snapshot when set (the preemption/resume path), else the Resume file,
+// else nil. Either way the snapshot is validated against the run's
+// identity before any state is touched.
+func (c *Config) resumeSnapshot(nel, nnd int) (*checkpoint.Snapshot, error) {
+	if c.ResumeFrom != nil {
+		if err := c.ResumeFrom.Validate(c.Problem, c.NX, c.NY, nel, nnd); err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+		return c.ResumeFrom, nil
+	}
+	if c.Resume == "" {
+		return nil, nil
+	}
+	return loadSnapshot(c.Resume, c.Problem, c.NX, c.NY, nel, nnd)
+}
+
 // dtCauseCounters pre-resolves one counter per timestep-limiting cause
 // so the per-step publish is a single indexed add.
 func dtCauseCounters(reg *obs.Registry) [5]*obs.Counter {
@@ -570,8 +625,13 @@ func runSerial(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Pool = par.New(cfg.Threads)
-	defer s.Pool.Close()
+	if cfg.Pool != nil {
+		// Warm-fleet lease: the caller owns the pool and its lifecycle.
+		s.Pool = cfg.Pool
+	} else {
+		s.Pool = par.New(cfg.Threads)
+		defer s.Pool.Close()
+	}
 
 	tEnd := p.TEnd
 	if cfg.TEnd > 0 {
@@ -582,11 +642,16 @@ func runSerial(cfg Config) (*Result, error) {
 		remap = ale.NewRemapper(*a, s)
 	}
 
-	if cfg.Resume != "" {
-		snap, err := loadSnapshot(cfg.Resume, cfg.Problem, cfg.NX, cfg.NY, p.Mesh.NEl, p.Mesh.NNd)
-		if err != nil {
-			return nil, fmt.Errorf("bookleaf: %w", err)
-		}
+	// Initial audits come from the fresh t=0 state, before any resume
+	// restore: the snapshot carries the external-work and floor-energy
+	// accumulators from t=0, so the drift identity (and bitwise parity
+	// with an uninterrupted run) needs the t=0 anchors. The parallel
+	// driver computes them the same way.
+	e0, mass0 := s.TotalEnergy(), s.TotalMass()
+
+	if snap, err := cfg.resumeSnapshot(p.Mesh.NEl, p.Mesh.NNd); err != nil {
+		return nil, fmt.Errorf("bookleaf: %w", err)
+	} else if snap != nil {
 		if err := snap.Restore(s, cfg.Problem, cfg.NX, cfg.NY); err != nil {
 			return nil, fmt.Errorf("bookleaf: resume: %w", err)
 		}
@@ -627,7 +692,7 @@ func runSerial(cfg Config) (*Result, error) {
 	res := &Result{
 		Problem: p.Name, Ranks: 1, FinalRanks: 1, Threads: cfg.Threads,
 		NEl: p.Mesh.NEl, NNd: p.Mesh.NNd,
-		E0: s.TotalEnergy(), Mass0: s.TotalMass(),
+		E0: e0, Mass0: mass0,
 		Mesh: p.Mesh, TEnd: tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
 	}
 	rollEvery := cfg.rollbackEvery()
@@ -639,9 +704,23 @@ func runSerial(cfg Config) (*Result, error) {
 	if budget > 0 {
 		s.Save(&roll) // cover steps before the first cadence point
 	}
+	ctl := cfg.Control
 	for s.Time < tEnd-1e-12 {
 		if cfg.MaxSteps > 0 && s.StepCount >= cfg.MaxSteps {
 			break
+		}
+		// Control requests are honoured at step boundaries, so a
+		// preempted leg restarts exactly where an uninterrupted run
+		// would have stepped next.
+		switch ctl.poll() {
+		case ctlCancel:
+			return nil, fmt.Errorf("bookleaf: step %d (t=%v): %w", s.StepCount, s.Time, ErrCanceled)
+		case ctlPreempt:
+			return nil, &PreemptedError{
+				Snapshot: checkpoint.Capture(s, cfg.Problem, cfg.NX, cfg.NY),
+				Step:     s.StepCount, Time: s.Time,
+				Obs: reg.Snapshot(),
+			}
 		}
 		if budget > 0 && s.StepCount%rollEvery == 0 {
 			s.Save(&roll)
@@ -689,6 +768,10 @@ func runSerial(cfg Config) (*Result, error) {
 		}
 		ctrSteps.Inc()
 		dtCause[s.DtCause].Inc()
+		ctl.noteProgress(s.StepCount, s.Time, tEnd)
+		if ctl.snapshotDue(s.StepCount) {
+			ctl.publishMetrics(reg.Snapshot())
+		}
 		if probe.Due(s.StepCount) {
 			rec := probe.Sample(s.StepCount, s.Time,
 				s.TotalMass(), s.TotalEnergy(), s.ExternalWork, s.FloorEnergy, true)

@@ -1,0 +1,87 @@
+// Command bleaf-served is the BookLeaf simulation service: a
+// long-running daemon that accepts input decks over HTTP, multiplexes
+// the runs over a warm pool fleet, and serves results, progress and
+// metrics back as JSON.
+//
+//	bleaf-served -addr :8080 -workers 4 -threads 2
+//
+//	# submit a deck, poll it, fetch the result
+//	curl -d @decks/sod.deck localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/j000001
+//	curl localhost:8080/v1/jobs/j000001/metrics
+//	curl -X DELETE localhost:8080/v1/jobs/j000001
+//
+// Priorities: a deck submitted with "X-Priority: 10" outranks the
+// default 0; when the fleet is full, a strictly higher-priority
+// submission preempts the weakest running job through an in-memory
+// checkpoint — the evicted job re-queues and later resumes from the
+// exact step it was parked at, bit for bit.
+//
+// Admission control: every deck's cost is predicted from its stated
+// dimensions (internal/machine); when the predicted backlog would
+// exceed -budget seconds the submission is rejected with 429 and a
+// Retry-After estimating the drain time.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bookleaf/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bleaf-served:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "concurrent simulations (warm pool fleet size)")
+		threads  = flag.Int("threads", 1, "par.Pool threads leased to each serial job")
+		budget   = flag.Float64("budget", 600, "admission budget: max predicted backlog seconds")
+		maxDeck  = flag.Int64("max-deck-bytes", 1<<20, "largest accepted deck body")
+		snapshot = flag.Int("snapshot-every", 0, "mid-run metrics snapshot cadence in steps (0 = default)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers: *workers, Threads: *threads,
+		BudgetSeconds: *budget, MaxDeckBytes: *maxDeck,
+		SnapshotEvery: *snapshot,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("bleaf-served: listening on %s (%d worker(s) x %d thread(s), budget %.0fs)\n",
+		*addr, *workers, *threads, *budget)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-sig:
+	}
+	fmt.Println("bleaf-served: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		srv.Close()
+		return err
+	}
+	srv.Close()
+	return nil
+}

@@ -121,7 +121,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cfg, err = deckToConfig(deck)
+		cfg, err = bookleaf.ConfigFromDeck(deck)
 		if err != nil {
 			return err
 		}
@@ -312,134 +312,4 @@ func printBreakdown(res *bookleaf.Result) {
 		fmt.Printf("  %-12s %10.4f %7.1f%% %8d\n", r.name, r.sec, pct, res.Calls[r.name])
 	}
 	fmt.Printf("  %-12s %10.4f\n", "total", total)
-}
-
-func deckToConfig(d *config.Deck) (bookleaf.Config, error) {
-	var cfg bookleaf.Config
-	var err error
-	cfg.Problem = d.String("control", "problem", "sod")
-	if cfg.NX, err = d.Int("control", "nx", 100); err != nil {
-		return cfg, err
-	}
-	if cfg.NY, err = d.Int("control", "ny", 10); err != nil {
-		return cfg, err
-	}
-	if cfg.TEnd, err = d.Float("control", "tend", 0); err != nil {
-		return cfg, err
-	}
-	if cfg.MaxSteps, err = d.Int("control", "maxsteps", 0); err != nil {
-		return cfg, err
-	}
-	if cfg.Ranks, err = d.Int("control", "ranks", 1); err != nil {
-		return cfg, err
-	}
-	if cfg.Threads, err = d.Int("control", "threads", 1); err != nil {
-		return cfg, err
-	}
-	cfg.Partitioner = d.String("control", "partitioner", "rcb")
-	if cfg.Overlap, err = d.Bool("control", "overlap", false); err != nil {
-		return cfg, err
-	}
-	fuseOn, err := d.Bool("control", "fuse", true)
-	if err != nil {
-		return cfg, err
-	}
-	cfg.NoFuse = !fuseOn
-	if cfg.FuseTile, err = d.Int("control", "fuse_tile", 0); err != nil {
-		return cfg, err
-	}
-	if cfg.Float32Aux, err = d.Bool("hydro", "float32aux", false); err != nil {
-		return cfg, err
-	}
-	cfg.Checkpoint = d.String("control", "checkpoint", "")
-	if cfg.CheckpointEvery, err = d.Int("control", "checkpoint_every", 0); err != nil {
-		return cfg, err
-	}
-	cfg.Resume = d.String("control", "resume", "")
-	if cfg.RollbackEvery, err = d.Int("control", "rollback_every", 0); err != nil {
-		return cfg, err
-	}
-	if cfg.RetryBudget, err = d.Int("control", "retry_budget", 0); err != nil {
-		return cfg, err
-	}
-	cfg.ALE = d.String("ale", "mode", "")
-	if cfg.ALE == "lagrangian" || cfg.ALE == "off" {
-		cfg.ALE = ""
-	}
-	if cfg.ALEFreq, err = d.Int("ale", "freq", 1); err != nil {
-		return cfg, err
-	}
-	if cfg.FirstOrderRemap, err = d.Bool("ale", "firstorder", false); err != nil {
-		return cfg, err
-	}
-	cfg.Trace = d.String("obs", "trace", "")
-	cfg.Metrics = d.String("obs", "metrics", "")
-	if cfg.ProbeEvery, err = d.Int("obs", "probe_every", 0); err != nil {
-		return cfg, err
-	}
-	if cfg.ProbeMaxDrift, err = d.Float("obs", "probe_maxdrift", 0); err != nil {
-		return cfg, err
-	}
-	if d.Has("supervise") {
-		sc := &bookleaf.SuperviseConfig{}
-		if sc.Enabled, err = d.Bool("supervise", "enabled", false); err != nil {
-			return cfg, err
-		}
-		if sc.RetryBudget, err = d.Int("supervise", "retry_budget", 0); err != nil {
-			return cfg, err
-		}
-		if sc.ReplaceBudget, err = d.Int("supervise", "replace_budget", 0); err != nil {
-			return cfg, err
-		}
-		if sc.PersistAfter, err = d.Int("supervise", "persist_after", 0); err != nil {
-			return cfg, err
-		}
-		if sc.BackoffBase, err = d.Duration("supervise", "backoff_base", 0); err != nil {
-			return cfg, err
-		}
-		if sc.BackoffMax, err = d.Duration("supervise", "backoff_max", 0); err != nil {
-			return cfg, err
-		}
-		if sc.BackoffJitter, err = d.Float("supervise", "backoff_jitter", 0); err != nil {
-			return cfg, err
-		}
-		if sc.RecvTimeout, err = d.Duration("supervise", "recv_timeout", 0); err != nil {
-			return cfg, err
-		}
-		if sc.DtBackoff, err = d.Float("supervise", "dt_backoff", 0); err != nil {
-			return cfg, err
-		}
-		if sc.RepartCheckEvery, err = d.Int("supervise", "repart_check_every", 0); err != nil {
-			return cfg, err
-		}
-		if sc.RepartThreshold, err = d.Float("supervise", "repart_threshold", 0); err != nil {
-			return cfg, err
-		}
-		if sc.RepartMinGap, err = d.Int("supervise", "repart_min_gap", 0); err != nil {
-			return cfg, err
-		}
-		if sc.RepartAtStep, err = d.Int("supervise", "repart_at", 0); err != nil {
-			return cfg, err
-		}
-		if sc.RepartRanks, err = d.Int("supervise", "repart_ranks", 0); err != nil {
-			return cfg, err
-		}
-		if sc.RanksMax, err = d.Int("supervise", "ranks_max", 0); err != nil {
-			return cfg, err
-		}
-		seed, err := d.Int("supervise", "seed", 0)
-		if err != nil {
-			return cfg, err
-		}
-		sc.Seed = uint64(seed)
-		cfg.Supervise = sc
-	}
-	cfg.Hourglass = d.String("hydro", "hourglass", "")
-	if cfg.ScatterAcc, err = d.Bool("hydro", "scatteracc", false); err != nil {
-		return cfg, err
-	}
-	if cfg.SedovEnergy, err = d.Float("hydro", "sedov_energy", 0); err != nil {
-		return cfg, err
-	}
-	return cfg, nil
 }

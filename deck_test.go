@@ -1,12 +1,13 @@
-package main
+package bookleaf_test
 
 import (
 	"testing"
 
+	"bookleaf"
 	"bookleaf/internal/config"
 )
 
-func TestDeckToConfig(t *testing.T) {
+func TestConfigFromDeck(t *testing.T) {
 	deck, err := config.ParseString(`
 [control]
 problem = noh
@@ -28,7 +29,7 @@ sedov_energy = 0.5
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := deckToConfig(deck)
+	cfg, err := bookleaf.ConfigFromDeck(deck)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,12 +50,12 @@ sedov_energy = 0.5
 	}
 }
 
-func TestDeckToConfigDefaults(t *testing.T) {
+func TestConfigFromDeckDefaults(t *testing.T) {
 	deck, err := config.ParseString("[control]\nproblem = sod\n")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := deckToConfig(deck)
+	cfg, err := bookleaf.ConfigFromDeck(deck)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,10 +64,10 @@ func TestDeckToConfigDefaults(t *testing.T) {
 	}
 }
 
-func TestDeckToConfigLagrangianAliases(t *testing.T) {
+func TestConfigFromDeckLagrangianAliases(t *testing.T) {
 	for _, mode := range []string{"lagrangian", "off"} {
 		deck, _ := config.ParseString("[control]\nproblem = sod\n[ale]\nmode = " + mode + "\n")
-		cfg, err := deckToConfig(deck)
+		cfg, err := bookleaf.ConfigFromDeck(deck)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,9 +77,9 @@ func TestDeckToConfigLagrangianAliases(t *testing.T) {
 	}
 }
 
-func TestDeckToConfigTypeErrors(t *testing.T) {
+func TestConfigFromDeckTypeErrors(t *testing.T) {
 	deck, _ := config.ParseString("[control]\nproblem = sod\nnx = lots\n")
-	if _, err := deckToConfig(deck); err == nil {
+	if _, err := bookleaf.ConfigFromDeck(deck); err == nil {
 		t.Fatal("bad nx accepted")
 	}
 }

@@ -14,6 +14,7 @@ package config
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -85,6 +86,27 @@ func Parse(r io.Reader) (*Deck, error) {
 // ParseString parses a deck held in a string.
 func ParseString(s string) (*Deck, error) {
 	return Parse(strings.NewReader(s))
+}
+
+// ErrTooLarge is matched (via errors.Is) by the error ParseLimit
+// returns when the input exceeds its byte budget.
+var ErrTooLarge = errors.New("config: deck too large")
+
+// ParseLimit parses a deck from r, reading at most max bytes. It is
+// the entry point for untrusted sources (the bleaf-served submission
+// endpoint): a deck is a few hundred bytes of key = value lines, so a
+// megabyte-scale body is garbage by construction and is rejected with
+// ErrTooLarge before any of it is retained.
+func ParseLimit(r io.Reader, max int64) (*Deck, error) {
+	if max <= 0 {
+		return Parse(r)
+	}
+	lr := &io.LimitedReader{R: r, N: max + 1}
+	d, err := Parse(lr)
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("%w (over %d bytes)", ErrTooLarge, max)
+	}
+	return d, err
 }
 
 func (d *Deck) lookup(section, key string) (string, bool) {

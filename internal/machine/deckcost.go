@@ -1,0 +1,124 @@
+package machine
+
+import "math"
+
+// This file is the serving-side cost predictor: given only the numbers
+// a deck states (problem, mesh dimensions, end time, caps), estimate
+// how many seconds the run will occupy a worker before admitting it.
+// The estimate must be computable without building the mesh — admission
+// control runs on untrusted input, and a hostile nx=10^9 deck must cost
+// a multiplication, not an allocation — so everything here is closed
+// arithmetic over the roofline model above.
+//
+// Admission control needs ordering more than accuracy: a deck with more
+// elements, or more steps, must never predict cheaper. Both axes are
+// monotone by construction — per-step time is linear in NEl (every
+// cpuTime term scales with n) and total time is linear in Steps.
+
+// RunShape is the part of a parsed deck the predictor consumes.
+type RunShape struct {
+	Problem  string
+	NX, NY   int
+	TEnd     float64 // 0 = problem default
+	MaxSteps int     // 0 = uncapped
+	Threads  int     // worker threads the run will be given
+}
+
+// Estimate is a predicted run cost.
+type Estimate struct {
+	NEl         int     // elements the deck's mesh will have
+	Steps       int     // predicted step count
+	StepSeconds float64 // predicted seconds per step
+	Seconds     float64 // Steps * StepSeconds
+}
+
+// problemTEnd mirrors the per-problem default end times the hydro setup
+// applies when a deck leaves tend unset.
+func problemTEnd(problem string) float64 {
+	switch problem {
+	case "sod":
+		return 0.25
+	case "noh", "nohdisc", "saltzmann":
+		return 0.6
+	case "sedov":
+		return 1.0
+	case "waterair":
+		return 0.08
+	default:
+		return 0.25
+	}
+}
+
+// stepRate is the predicted steps per unit simulated time per cell of
+// linear resolution — a CFL surrogate: dt scales with the cell size
+// h ~ 1/max(nx,ny) divided by a per-problem signal-speed scale.
+func stepRate(problem string) float64 {
+	switch problem {
+	case "noh", "nohdisc":
+		return 8
+	case "sedov":
+		return 12
+	case "waterair":
+		return 60
+	default: // sod, saltzmann and unknowns: near-unit sound speed
+		return 4
+	}
+}
+
+// ServingHost is the platform model of one bleaf-served worker with the
+// given thread count: a generic server core at 2 GHz with ~10 GB/s of
+// memory bandwidth per core, run flat (every thread busy). Absolute
+// seconds are indicative; ordering between decks is what admission
+// control consumes.
+func ServingHost(threads int) Platform {
+	if threads < 1 {
+		threads = 1
+	}
+	return Platform{
+		Name: "serving-host", Exec: FlatMPI,
+		Sockets: 1, CoresPerSocket: threads,
+		GHz: 2.0, OpsPerCycle: 1.0,
+		NodeBW: 10 * float64(threads), CoreBW: 10,
+	}
+}
+
+// PredictRun estimates the cost of running a deck of the given shape on
+// a serving-host worker. Steps grow with TEnd and linear resolution
+// (CFL), capped by MaxSteps; per-step seconds are the roofline over the
+// full kernel inventory at the deck's element count. The result is
+// strictly monotone in NX*NY and in the predicted step count.
+func PredictRun(sh RunShape) Estimate {
+	nx, ny := sh.NX, sh.NY
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	nel := nx * ny
+
+	tEnd := sh.TEnd
+	if tEnd <= 0 {
+		tEnd = problemTEnd(sh.Problem)
+	}
+	maxDim := nx
+	if ny > maxDim {
+		maxDim = ny
+	}
+	steps := int(math.Ceil(tEnd * stepRate(sh.Problem) * float64(maxDim)))
+	if steps < 1 {
+		steps = 1
+	}
+	if sh.MaxSteps > 0 && steps > sh.MaxSteps {
+		steps = sh.MaxSteps
+	}
+
+	host := ServingHost(sh.Threads)
+	perStep := host.OverallOf(Kernels, Workload{NEl: nel, Steps: 1})
+	return Estimate{
+		NEl:         nel,
+		Steps:       steps,
+		StepSeconds: perStep,
+		Seconds:     perStep * float64(steps),
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSubmitDeck hammers the HTTP deck-submission path — headers plus
+// body — with mutated decks seeded from decks/. The server runs in
+// AdmitOnly mode: every submission is parsed, predicted, and admitted
+// or rejected, but nothing executes, so the fuzzer explores the
+// untrusted-input surface (parser, deck→config mapping, admission
+// arithmetic) at full speed. The invariant: any input yields a typed
+// JSON response with a known status, never a panic or a hang.
+func FuzzSubmitDeck(f *testing.F) {
+	files, _ := filepath.Glob("../../decks/*.deck")
+	for _, p := range files {
+		if b, err := os.ReadFile(p); err == nil {
+			f.Add(b, "0")
+			f.Add(b, "10")
+		}
+	}
+	f.Add([]byte("[control]\nproblem = sod\nnx = 1000000000\nny = 1000000\n"), "1")
+	f.Add([]byte("[control]\nproblem = sod\nnx = -7\nny = 0\n"), "-3")
+	f.Add([]byte("[control]\nproblem = sod\ncheckpoint = /etc/passwd\n"), "")
+	f.Add([]byte("garbage\n"), "2147483648")
+	f.Add([]byte("[supervise]\nenabled = maybe\n"), "0")
+	f.Add([]byte(""), "not-a-number")
+
+	srv := New(Options{Workers: 1, BudgetSeconds: 3600, AdmitOnly: true})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	f.Fuzz(func(t *testing.T, deck []byte, priority string) {
+		req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(deck))
+		if err != nil {
+			t.Skip() // header-invalid priority strings can't even build a request
+		}
+		if priority != "" {
+			req.Header.Set("X-Priority", priority)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			// The transport rejects some hostile header bytes before the
+			// server sees them; that is not a server defect.
+			t.Skip()
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusBadRequest,
+			http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("unexpected status %d for deck %q priority %q",
+				resp.StatusCode, deck, priority)
+		}
+		// Every response — success or error — must be well-formed JSON.
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("status %d body is not JSON: %v", resp.StatusCode, err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			id, _ := doc["id"].(string)
+			if id == "" {
+				t.Fatalf("202 without job id: %v", doc)
+			}
+			// The admitted job must be immediately visible.
+			jr, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jr.Body.Close()
+			if jr.StatusCode != http.StatusOK {
+				t.Fatalf("admitted job %s not retrievable: %d", id, jr.StatusCode)
+			}
+		}
+	})
+}

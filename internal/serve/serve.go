@@ -1,0 +1,578 @@
+// Package serve turns the bookleaf library into a simulation service:
+// a priority job queue and scheduler multiplexing many concurrent runs
+// over a fixed fleet of warm par.Pools, with admission control driven
+// by the internal/machine cost predictor and preemption/resume of
+// running jobs through the checkpoint-v2 in-memory gather.
+//
+// The design splits in two layers. This file is the scheduler: jobs,
+// the queue, the pool fleet, admission and preemption — all plain Go
+// behind one mutex, no HTTP. http.go maps it onto the /v1/jobs wire
+// API. Tests drive either layer directly.
+//
+// Invariants the tests pin down:
+//
+//   - A pool is leased to at most one job at a time; a slot returns to
+//     the free list before its job's terminal state is observable.
+//   - A job's admission estimate joins the backlog at admit time and
+//     leaves it exactly once, at the job's terminal state.
+//   - A preempted job loses no steps: its next leg resumes from the
+//     collective in-memory snapshot, and the per-leg obs snapshots
+//     merge into the totals an uninterrupted run would report.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"bookleaf"
+	"bookleaf/internal/checkpoint"
+	"bookleaf/internal/config"
+	"bookleaf/internal/machine"
+	"bookleaf/internal/obs"
+	"bookleaf/internal/par"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the number of simulations run concurrently — the size
+	// of the warm pool fleet (default 2).
+	Workers int
+	// Threads is the par.Pool width leased to each serial job
+	// (default 1). Multi-rank decks spawn their own pools and only
+	// occupy a worker slot.
+	Threads int
+	// BudgetSeconds is the admission budget: a deck is rejected when
+	// the predicted backlog (admitted-but-unfinished seconds) plus its
+	// own estimate would exceed it (default 600).
+	BudgetSeconds float64
+	// MaxDeckBytes bounds a submitted deck (default 1 MiB).
+	MaxDeckBytes int64
+	// SnapshotEvery is the mid-run metrics cadence handed to each
+	// job's Control (0 = the Control default).
+	SnapshotEvery int
+	// AdmitOnly short-circuits execution: submissions are parsed,
+	// predicted and admitted, then complete immediately without
+	// running. The fuzz harness uses it to hammer the submission path
+	// without paying for hydrodynamics.
+	AdmitOnly bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	if o.BudgetSeconds <= 0 {
+		o.BudgetSeconds = 600
+	}
+	if o.MaxDeckBytes <= 0 {
+		o.MaxDeckBytes = 1 << 20
+	}
+	return o
+}
+
+// Job states, as reported on the wire.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// BadDeckError rejects a submission whose deck cannot be turned into a
+// runnable config. The wire layer maps it to 400.
+type BadDeckError struct{ Reason string }
+
+func (e *BadDeckError) Error() string { return "bad deck: " + e.Reason }
+
+// OverloadedError rejects an admissible deck the budget has no room
+// for. RetryAfter is the predicted seconds until the backlog has
+// drained enough to fit the estimate, given the fleet drains Workers
+// jobs' worth of predicted seconds per wall-clock second.
+type OverloadedError struct {
+	RetryAfter int
+	EstSeconds float64
+	Backlog    float64
+	Budget     float64
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("overloaded: predicted backlog %.1fs + job %.1fs exceeds budget %.1fs (retry after %ds)",
+		e.Backlog, e.EstSeconds, e.Budget, e.RetryAfter)
+}
+
+// ErrClosed rejects submissions to a shut-down server.
+var ErrClosed = errors.New("serve: server closed")
+
+// Job is one admitted simulation.
+type Job struct {
+	ID       string
+	Priority int
+	Est      machine.Estimate
+
+	seq int
+
+	// Everything below is guarded by the server mutex.
+	state        string
+	cfg          bookleaf.Config
+	ctl          *bookleaf.Control    // current leg; nil unless running
+	pool         *par.Pool            // leased slot; nil unless running
+	resumeSnap   *checkpoint.Snapshot // snapshot the next leg resumes from
+	prevObs      *obs.Snapshot        // merged metrics of finished legs
+	lastStatus   bookleaf.RunStatus
+	preemptions  int
+	preemptAsked bool
+	cancelAsked  bool
+	result       *bookleaf.Result
+	err          error
+	done         chan struct{} // closed at terminal state
+}
+
+// Server is the scheduler.
+type Server struct {
+	opt Options
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	jobs    map[string]*Job
+	queue   []*Job // pending, highest priority first, FIFO within
+	free    []*par.Pool
+	pools   []*par.Pool
+	backlog float64 // predicted seconds of admitted unfinished work
+	seq     int
+	closed  bool
+}
+
+// New builds a Server and warms its pool fleet.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:  opt,
+		jobs: make(map[string]*Job),
+	}
+	for i := 0; i < opt.Workers; i++ {
+		p := par.New(opt.Threads)
+		s.pools = append(s.pools, p)
+		s.free = append(s.free, p)
+	}
+	return s
+}
+
+// Submit parses a deck from r, predicts its cost, and either admits it
+// into the queue or rejects it with a typed error (*BadDeckError,
+// *OverloadedError, config.ErrTooLarge wrapped, or ErrClosed).
+func (s *Server) Submit(r io.Reader, priority int) (*Job, error) {
+	deck, err := config.ParseLimit(r, s.opt.MaxDeckBytes)
+	if err != nil {
+		if errors.Is(err, config.ErrTooLarge) {
+			return nil, err
+		}
+		return nil, &BadDeckError{Reason: err.Error()}
+	}
+	cfg, err := bookleaf.ConfigFromDeck(deck)
+	if err != nil {
+		return nil, &BadDeckError{Reason: err.Error()}
+	}
+	if err := serverSafe(&cfg); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, &BadDeckError{Reason: err.Error()}
+	}
+	threads := s.opt.Threads
+	if cfg.Ranks > 1 {
+		threads = cfg.Threads
+	}
+	est := machine.PredictRun(machine.RunShape{
+		Problem: cfg.Problem, NX: cfg.NX, NY: cfg.NY,
+		TEnd: cfg.TEnd, MaxSteps: cfg.MaxSteps, Threads: threads,
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.backlog+est.Seconds > s.opt.BudgetSeconds {
+		excess := s.backlog + est.Seconds - s.opt.BudgetSeconds
+		retry := int(math.Ceil(excess / float64(s.opt.Workers)))
+		if retry < 1 {
+			retry = 1
+		}
+		return nil, &OverloadedError{
+			RetryAfter: retry, EstSeconds: est.Seconds,
+			Backlog: s.backlog, Budget: s.opt.BudgetSeconds,
+		}
+	}
+	s.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("j%06d", s.seq),
+		Priority: priority,
+		Est:      est,
+		seq:      s.seq,
+		state:    StateQueued,
+		cfg:      cfg,
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.backlog += est.Seconds
+	if s.opt.AdmitOnly {
+		s.terminalLocked(j, StateDone, nil)
+		return j, nil
+	}
+	s.pushLocked(j)
+	s.dispatchLocked()
+	return j, nil
+}
+
+// serverSafe rejects deck keys that would touch the server's
+// filesystem: a remote client must not be able to write checkpoint,
+// trace or metrics files — or read arbitrary paths as restart dumps —
+// on the serving host.
+func serverSafe(cfg *bookleaf.Config) error {
+	switch cfg.Problem {
+	case "sod", "noh", "sedov", "saltzmann", "waterair", "nohdisc":
+	default:
+		// Run would also reject this, but at admission it is a typed
+		// 400 instead of a failed job.
+		return &BadDeckError{Reason: fmt.Sprintf("unknown problem %q", cfg.Problem)}
+	}
+	switch {
+	case cfg.Checkpoint != "":
+		return &BadDeckError{Reason: "served decks may not set [control] checkpoint (no server-side file output)"}
+	case cfg.Resume != "":
+		return &BadDeckError{Reason: "served decks may not set [control] resume (no server-side file input)"}
+	case cfg.Trace != "":
+		return &BadDeckError{Reason: "served decks may not set [obs] trace (no server-side file output)"}
+	case cfg.Metrics != "":
+		return &BadDeckError{Reason: "served decks may not set [obs] metrics (use GET /v1/jobs/{id}/metrics)"}
+	}
+	return nil
+}
+
+// Get returns a job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests a job stop. Queued jobs cancel immediately; running
+// jobs stop at their next step boundary. Terminal jobs are left alone.
+// The second return is false when the ID is unknown.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	switch j.state {
+	case StateQueued:
+		s.removeQueuedLocked(j)
+		s.terminalLocked(j, StateCanceled, bookleaf.ErrCanceled)
+	case StateRunning:
+		j.cancelAsked = true
+		j.ctl.Cancel()
+	}
+	return j, true
+}
+
+// Wait blocks until the job reaches a terminal state.
+func (j *Job) Wait() { <-j.done }
+
+// Done exposes the terminal-state channel for select loops.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status is a point-in-time view of a job, safe to serialise.
+type Status struct {
+	ID          string  `json:"id"`
+	State       string  `json:"state"`
+	Priority    int     `json:"priority"`
+	EstSeconds  float64 `json:"est_seconds"`
+	Preemptions int     `json:"preemptions"`
+	Step        int     `json:"step"`
+	Time        float64 `json:"time"`
+	TEnd        float64 `json:"tend"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Status snapshots the job under the scheduler lock; live progress
+// comes from the running leg's Control.
+func (s *Server) Status(j *Job) Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ID: j.ID, State: j.state, Priority: j.Priority,
+		EstSeconds: j.Est.Seconds, Preemptions: j.preemptions,
+		Step: j.lastStatus.Step, Time: j.lastStatus.Time, TEnd: j.lastStatus.TEnd,
+	}
+	if j.state == StateRunning && j.ctl != nil {
+		if rs, ok := j.ctl.Status(); ok {
+			st.Step, st.Time, st.TEnd = rs.Step, rs.Time, rs.TEnd
+		}
+	}
+	if j.state == StateDone && j.result != nil {
+		st.Step, st.Time = j.result.Steps, j.result.Time
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the completed run, or nil before StateDone.
+func (s *Server) Result(j *Job) *bookleaf.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.result
+}
+
+// Metrics assembles the job's current merged obs snapshot: finished
+// legs plus the running leg's latest published snapshot. Nil when
+// nothing has been published yet.
+func (s *Server) Metrics(j *Job) *obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var parts []*obs.Snapshot
+	if j.prevObs != nil {
+		parts = append(parts, j.prevObs)
+	}
+	if j.state == StateRunning && j.ctl != nil {
+		if live := j.ctl.Metrics(); live != nil {
+			parts = append(parts, live)
+		}
+	}
+	if j.state == StateDone && j.result != nil && j.result.Obs != nil {
+		// The final merge already happened at completion.
+		return j.result.Obs
+	}
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		// Copy-on-read: callers must never see a snapshot that a later
+		// leg merge will mutate.
+		return mergeSnapshots(parts[0])
+	default:
+		return mergeSnapshots(parts...)
+	}
+}
+
+// Stats is the server-wide view the wire layer exposes on /v1/status.
+type Stats struct {
+	Workers       int     `json:"workers"`
+	FreeWorkers   int     `json:"free_workers"`
+	Queued        int     `json:"queued"`
+	Running       int     `json:"running"`
+	Backlog       float64 `json:"backlog_seconds"`
+	BudgetSeconds float64 `json:"budget_seconds"`
+}
+
+// Stats snapshots the scheduler.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			running++
+		}
+	}
+	return Stats{
+		Workers: s.opt.Workers, FreeWorkers: len(s.free),
+		Queued: len(s.queue), Running: running,
+		Backlog: s.backlog, BudgetSeconds: s.opt.BudgetSeconds,
+	}
+}
+
+// Close stops admissions, cancels everything in flight, waits for the
+// legs to drain and releases the pool fleet.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, j := range s.queue {
+		s.terminalLocked(j, StateCanceled, bookleaf.ErrCanceled)
+	}
+	s.queue = nil
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			j.cancelAsked = true
+			j.ctl.Cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	for _, p := range s.pools {
+		p.Close()
+	}
+}
+
+// pushLocked inserts j into the queue: highest priority first, FIFO
+// (by admission sequence) among equals. A preempted job keeps its
+// original sequence number, so it re-enters ahead of later arrivals of
+// the same priority.
+func (s *Server) pushLocked(j *Job) {
+	i := sort.Search(len(s.queue), func(i int) bool {
+		q := s.queue[i]
+		if q.Priority != j.Priority {
+			return q.Priority < j.Priority
+		}
+		return q.seq > j.seq
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+}
+
+func (s *Server) removeQueuedLocked(j *Job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// dispatchLocked starts queued jobs on free pools, then — if work is
+// still waiting — preempts the weakest running job when the queue head
+// strictly outranks it. One preemption request per victim leg; the
+// snapshot hand-back re-enters through legDone.
+func (s *Server) dispatchLocked() {
+	for len(s.free) > 0 && len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		pool := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.startLocked(j, pool)
+	}
+	if len(s.queue) == 0 {
+		return
+	}
+	head := s.queue[0]
+	var victim *Job
+	for _, j := range s.jobs {
+		if j.state != StateRunning || j.preemptAsked {
+			continue
+		}
+		if victim == nil || j.Priority < victim.Priority ||
+			(j.Priority == victim.Priority && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	if victim != nil && victim.Priority < head.Priority {
+		victim.preemptAsked = true
+		victim.ctl.Preempt()
+	}
+}
+
+// startLocked leases pool to j and launches the leg goroutine.
+func (s *Server) startLocked(j *Job, pool *par.Pool) {
+	ctl := &bookleaf.Control{SnapshotEvery: s.opt.SnapshotEvery}
+	j.state = StateRunning
+	j.ctl = ctl
+	j.pool = pool
+	j.preemptAsked = false
+	cfg := j.cfg
+	cfg.Control = ctl
+	cfg.ResumeFrom = j.resumeSnap
+	if cfg.Ranks <= 1 {
+		cfg.Pool = pool
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		res, err := bookleaf.Run(cfg)
+		s.legDone(j, res, err)
+	}()
+}
+
+// legDone retires a finished leg: the pool returns to the free list
+// first (slots are reclaimed before the terminal state is observable),
+// then the outcome routes to completion, requeue-with-snapshot, or a
+// terminal error.
+func (s *Server) legDone(j *Job, res *bookleaf.Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.pool != nil {
+		s.free = append(s.free, j.pool)
+		j.pool = nil
+	}
+	j.ctl = nil
+	j.preemptAsked = false
+
+	var pe *bookleaf.PreemptedError
+	switch {
+	case err == nil:
+		if j.prevObs != nil && res.Obs != nil {
+			j.prevObs.Merge(res.Obs)
+			res.Obs = j.prevObs
+		}
+		j.result = res
+		j.lastStatus = bookleaf.RunStatus{Step: res.Steps, Time: res.Time, TEnd: res.Time}
+		s.terminalLocked(j, StateDone, nil)
+	case errors.As(err, &pe):
+		if j.cancelAsked || s.closed {
+			// A cancel (or shutdown) raced the preemption; the snapshot
+			// is discarded like any other canceled state.
+			s.terminalLocked(j, StateCanceled, bookleaf.ErrCanceled)
+			break
+		}
+		j.resumeSnap = pe.Snapshot
+		if j.prevObs == nil {
+			j.prevObs = pe.Obs
+		} else {
+			j.prevObs.Merge(pe.Obs)
+		}
+		j.preemptions++
+		j.lastStatus = bookleaf.RunStatus{Step: pe.Step, Time: pe.Time, TEnd: j.lastStatus.TEnd}
+		j.state = StateQueued
+		s.pushLocked(j)
+	case errors.Is(err, bookleaf.ErrCanceled):
+		s.terminalLocked(j, StateCanceled, err)
+	default:
+		s.terminalLocked(j, StateFailed, err)
+	}
+	s.dispatchLocked()
+}
+
+// terminalLocked moves j to a terminal state exactly once: the
+// admission estimate leaves the backlog and waiters unblock.
+func (s *Server) terminalLocked(j *Job, state string, err error) {
+	j.state = state
+	j.err = err
+	s.backlog -= j.Est.Seconds
+	if s.backlog < 0 {
+		s.backlog = 0
+	}
+	close(j.done)
+}
+
+// mergeSnapshots folds the parts into a fresh snapshot without
+// mutating any of them.
+func mergeSnapshots(parts ...*obs.Snapshot) *obs.Snapshot {
+	out := &obs.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]obs.HistSnapshot{},
+	}
+	for _, p := range parts {
+		out.Merge(p)
+	}
+	return out
+}

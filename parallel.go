@@ -30,10 +30,18 @@ type phaseCtrs struct {
 // Collective step-status codes, reduced with AllReduceMin at the top of
 // every driver iteration so all ranks agree on the worst rank's state.
 // Exact float values: the min of any combination is the dominant code.
+// The two control codes slot into the order so that the right action
+// dominates: a retry outranks a preempt (the failing rank's state must
+// be repaired before a resumable snapshot can be gathered — the preempt
+// request stays pending and is honoured at the next healthy point), and
+// a cancel outranks a retry (the state is being discarded either way)
+// but yields to a fatal fault.
 const (
-	stOK    = 1.0
-	stRetry = 0.0
-	stFatal = -1.0
+	stOK      = 1.0
+	stPreempt = 0.5
+	stRetry   = 0.0
+	stCancel  = -0.5
+	stFatal   = -1.0
 )
 
 // rankSlot is the driver-side identity of one goroutine rank. It owns
@@ -74,8 +82,9 @@ type rankSlot struct {
 	workAcc float64
 
 	// Epoch outcome, read by the driver after the communicator drains.
-	err    error
-	repart bool
+	err     error
+	repart  bool
+	preempt bool
 }
 
 // parRun is the driver state of a parallel run across supervision
@@ -90,7 +99,10 @@ type parRun struct {
 	tEnd float64
 
 	gsnap *checkpoint.Snapshot
-	start time.Time
+	// ctlSnap receives the collective in-memory gather when an attached
+	// Control preempts the run (allocated only when a Control is set).
+	ctlSnap *checkpoint.Snapshot
+	start   time.Time
 
 	sup    *supervise.Supervisor
 	supReg *obs.Registry
@@ -176,15 +188,13 @@ func runParallel(cfg Config) (*Result, error) {
 		tEnd = cfg.TEnd
 	}
 
-	// Resume dumps are read and validated once, before any ranks spawn:
-	// a missing, truncated or incompatible dump fails here with a clear
-	// error instead of collapsing ranks mid-flight.
-	var resume *checkpoint.Snapshot
-	if cfg.Resume != "" {
-		resume, err = loadSnapshot(cfg.Resume, cfg.Problem, cfg.NX, cfg.NY, p.Mesh.NEl, p.Mesh.NNd)
-		if err != nil {
-			return nil, fmt.Errorf("bookleaf: %w", err)
-		}
+	// Resume sources (in-memory snapshot or dump file) are read and
+	// validated once, before any ranks spawn: a missing, truncated or
+	// incompatible dump fails here with a clear error instead of
+	// collapsing ranks mid-flight.
+	resume, err := cfg.resumeSnapshot(p.Mesh.NEl, p.Mesh.NNd)
+	if err != nil {
+		return nil, fmt.Errorf("bookleaf: %w", err)
 	}
 
 	pr := &parRun{
@@ -199,6 +209,9 @@ func runParallel(cfg Config) (*Result, error) {
 	// writeCk orders the gathers before rank 0 serialises it.
 	if cfg.Checkpoint != "" {
 		pr.gsnap = checkpoint.New(cfg.Problem, cfg.NX, cfg.NY, p.Mesh.NEl, p.Mesh.NNd)
+	}
+	if cfg.Control != nil {
+		pr.ctlSnap = checkpoint.New(cfg.Problem, cfg.NX, cfg.NY, p.Mesh.NEl, p.Mesh.NNd)
 	}
 	if pol.Enabled {
 		pr.supReg = obs.NewRegistry()
@@ -233,6 +246,9 @@ func runParallel(cfg Config) (*Result, error) {
 		}
 		rootErr, rank := pr.rootCause(runErr)
 		if rootErr == nil {
+			if pr.preemptWanted() {
+				return nil, pr.preemptError()
+			}
 			if pr.repartWanted() {
 				if err := pr.doRepart(); err != nil {
 					return nil, fmt.Errorf("bookleaf: repartition: %w", err)
@@ -240,6 +256,11 @@ func runParallel(cfg Config) (*Result, error) {
 				continue
 			}
 			return pr.finalize()
+		}
+		if errors.Is(rootErr, ErrCanceled) {
+			// A cancel is a request honoured, not a fault: it bypasses
+			// the supervision ladder (there is nothing to recover).
+			return nil, fmt.Errorf("bookleaf: %w", rootErr)
 		}
 		if pr.sup == nil {
 			// Supervision off: any epoch fault is fatal, exactly as
@@ -328,6 +349,7 @@ func (pr *parRun) runEpoch() (error, error) {
 		regs[i] = sl.reg
 		sl.err = nil
 		sl.repart = false
+		sl.preempt = false
 	}
 	comm.AttachObs(regs)
 	// Per-id observability objects are created here, before the rank
@@ -381,6 +403,41 @@ func (pr *parRun) rootCause(runErr error) (error, int) {
 	return abortedErr, abortedRank
 }
 
+// preemptWanted reports whether the epoch ended at the collective
+// preemption point (the verdict comes from the status reduction, so
+// every rank parked there or none did).
+func (pr *parRun) preemptWanted() bool {
+	for _, sl := range pr.slots {
+		if !sl.preempt {
+			return false
+		}
+	}
+	return len(pr.slots) > 0
+}
+
+// preemptError assembles the PreemptedError for a parked fleet: the
+// collective in-memory gather the ranks filled before exiting, plus the
+// merged metrics of everything the interrupted run accumulated (retired
+// incarnations first, exactly as finalize merges them). The rank
+// goroutines have drained, so reading their registries here is safe.
+func (pr *parRun) preemptError() *PreemptedError {
+	merged := obs.NewRegistry()
+	for _, r := range pr.retired {
+		merged.Merge(r)
+	}
+	for _, sl := range pr.slots {
+		merged.Merge(sl.reg)
+	}
+	if pr.supReg != nil {
+		merged.Merge(pr.supReg)
+	}
+	return &PreemptedError{
+		Snapshot: pr.ctlSnap,
+		Step:     pr.ctlSnap.StepCount, Time: pr.ctlSnap.Time,
+		Obs: merged.Snapshot(),
+	}
+}
+
 // repartWanted reports whether the epoch ended with a collective
 // repartition request (the trigger is a pure function of reduced
 // values, so every rank requests or none do).
@@ -411,6 +468,7 @@ func (pr *parRun) restoreHealthy() error {
 		}
 		sl.err = nil
 		sl.repart = false
+		sl.preempt = false
 		sl.workAcc = 0
 		// A rank that died mid-kernel left its timers started; the
 		// replay must be free to start them again.
@@ -647,6 +705,7 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 	gsnap := pr.gsnap
 	tEnd := pr.tEnd
 	supervised := pol.Enabled
+	ctl := cfg.Control
 
 	elHalo := typhon.NewHalo(sm.ElSend, sm.ElRecv)
 	ndHalo := typhon.NewHalo(sm.NdSend, sm.NdRecv)
@@ -925,6 +984,37 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 		return nil
 	}
 
+	// preemptCk is writeCk without the file: every rank gathers its
+	// owned entities into the control snapshot and rank 0 stamps the
+	// clock. The ranks park right after, so the single reduction pair
+	// is barrier enough — nobody re-gathers before the driver reads
+	// the snapshot from the drained fleet.
+	preemptCk := func() error {
+		ok := stOK
+		if err := pr.ctlSnap.Gather(s); err != nil {
+			ok = stFatal
+		}
+		work, err := rk.AllReduceSum(s.ExternalWork)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rk.ID(), err)
+		}
+		floor, err := rk.AllReduceSum(s.FloorEnergy)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rk.ID(), err)
+		}
+		g, err := rk.AllReduceMin(ok)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rk.ID(), err)
+		}
+		if g < 0 {
+			return fmt.Errorf("rank %d: preemption gather failed", rk.ID())
+		}
+		if rk.ID() == 0 {
+			pr.ctlSnap.SetClock(s.Time, s.DtPrev, s.StepCount, work, floor)
+		}
+		return nil
+	}
+
 	// sampleProbe globally reduces the conservation invariants and
 	// records the sample on rank 0. Called collectively at the
 	// healthy point, so the reductions line up across ranks. The
@@ -1007,6 +1097,19 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 				code = stFatal
 			}
 		}
+		if code == stOK {
+			// Control requests ride the same reduction as failures, so
+			// every rank acts on the same verdict at the same step. A
+			// rank that hasn't seen the request yet still obeys the
+			// reduced code. Retry outranks preempt (min-reduction):
+			// failing state repairs before it is gathered.
+			switch ctl.poll() {
+			case ctlCancel:
+				code = stCancel
+			case ctlPreempt:
+				code = stPreempt
+			}
+		}
 		g, err := rk.AllReduceMin(code)
 		if err != nil {
 			if fatalErr == nil {
@@ -1025,7 +1128,15 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 			tracer.Instant("abort", nil)
 			break
 		}
-		if g < stOK {
+		if g <= stCancel {
+			// Collective cancellation: every rank latches the same
+			// error, so fatalErr stays collectively consistent and the
+			// final-checkpoint participation check still lines up.
+			fatalErr = fmt.Errorf("rank %d: %w", rk.ID(), ErrCanceled)
+			tracer.Instant("cancel", nil)
+			break
+		}
+		if g <= stRetry {
 			// Collective rollback: every rank restores its snapshot
 			// of the same step and backs the shared timestep cap off.
 			// budget and dtCap stay identical across ranks because
@@ -1050,6 +1161,15 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 			flushPending()
 			s.Save(&slot.stepStart)
 		}
+		if rk.ID() == 0 {
+			// Rank 0 owns progress and mid-run metrics publication; its
+			// registry also holds the probe records, so the published
+			// snapshot is the most informative single-rank view.
+			ctl.noteProgress(s.StepCount, s.Time, tEnd)
+			if ctl.snapshotDue(s.StepCount) {
+				ctl.publishMetrics(reg.Snapshot())
+			}
+		}
 		if gsnap != nil && cfg.CheckpointEvery > 0 && s.StepCount > 0 &&
 			s.StepCount%cfg.CheckpointEvery == 0 && s.StepCount != slot.lastCk {
 			slot.lastCk = s.StepCount
@@ -1070,6 +1190,20 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 		}
 		if cfg.MaxSteps > 0 && s.StepCount >= cfg.MaxSteps {
 			break
+		}
+		if g <= stPreempt {
+			// Collective preemption point: gather the world into the
+			// in-memory control snapshot and park the epoch; the driver
+			// wraps the snapshot in a PreemptedError. Placed after the
+			// termination checks so a run that already reached tEnd
+			// completes instead of preempting.
+			if err := preemptCk(); err != nil {
+				fatalErr = err
+				continue
+			}
+			slot.preempt = true
+			tracer.Instant("preempt", nil)
+			return
 		}
 		if supervised {
 			want, rerr := repartDue()
