@@ -16,21 +16,38 @@ import "math"
 // cpuTime term scales with n) and total time is linear in Steps.
 
 // RunShape is the part of a parsed deck the predictor consumes.
+//
+// Threads is the worker-pool width the *server* grants the run, never
+// a deck-declared value: the estimate gates admission of untrusted
+// input, and letting a hostile deck inflate the platform's bandwidth
+// with threads=10^6 would make the most expensive decks predict the
+// cheapest. Ranks, by contrast, is deck-declared CPU the job consumes
+// *outside* the granted pool, so it multiplies the charge.
 type RunShape struct {
 	Problem  string
 	NX, NY   int
 	TEnd     float64 // 0 = problem default
 	MaxSteps int     // 0 = uncapped
-	Threads  int     // worker threads the run will be given
+	Threads  int     // worker threads the server grants the run
+	Ranks    int     // deck-declared rank count (0/1 = serial)
 }
 
 // Estimate is a predicted run cost.
 type Estimate struct {
-	NEl         int     // elements the deck's mesh will have
-	Steps       int     // predicted step count
-	StepSeconds float64 // predicted seconds per step
-	Seconds     float64 // Steps * StepSeconds
+	NEl         int     // elements the deck's mesh will have (saturated)
+	Steps       int     // predicted step count (saturated)
+	StepSeconds float64 // predicted seconds per step on one worker
+	Seconds     float64 // Steps * StepSeconds * Ranks; always finite, > 0
 }
+
+// Saturation bounds: hostile shapes clamp here instead of overflowing.
+// Both sit far past any admissible budget, so losing ordering above
+// the bound is irrelevant — a saturated estimate is rejected on size —
+// and the int conversions below stay well inside int64.
+const (
+	maxPredictEl    = 1e15 // elements
+	maxPredictSteps = 1e12 // steps
+)
 
 // problemTEnd mirrors the per-problem default end times the hydro setup
 // applies when a deck leaves tend unset.
@@ -71,8 +88,14 @@ func stepRate(problem string) float64 {
 // seconds are indicative; ordering between decks is what admission
 // control consumes.
 func ServingHost(threads int) Platform {
+	// Clamp to a physical host: callers pass the server-granted pool
+	// width, but a stray deck-declared value must not buy unbounded
+	// modelled bandwidth.
 	if threads < 1 {
 		threads = 1
+	}
+	if threads > 1024 {
+		threads = 1024
 	}
 	return Platform{
 		Name: "serving-host", Exec: FlatMPI,
@@ -85,8 +108,13 @@ func ServingHost(threads int) Platform {
 // PredictRun estimates the cost of running a deck of the given shape on
 // a serving-host worker. Steps grow with TEnd and linear resolution
 // (CFL), capped by MaxSteps; per-step seconds are the roofline over the
-// full kernel inventory at the deck's element count. The result is
-// strictly monotone in NX*NY and in the predicted step count.
+// full kernel inventory at the deck's element count, multiplied by the
+// rank count (each rank occupies its own CPU share for the whole run).
+// The result is strictly monotone in NX*NY and in the predicted step
+// count up to the saturation bounds, and always finite and positive:
+// all sizing arithmetic runs in float64 with explicit clamps, so
+// hostile shapes (nx=10^10, tend=1e300, NaN) saturate instead of
+// overflowing int conversions into a near-zero or negative estimate.
 func PredictRun(sh RunShape) Estimate {
 	nx, ny := sh.NX, sh.NY
 	if nx < 1 {
@@ -95,30 +123,48 @@ func PredictRun(sh RunShape) Estimate {
 	if ny < 1 {
 		ny = 1
 	}
-	nel := nx * ny
+	nelF := float64(nx) * float64(ny)
+	if nelF > maxPredictEl {
+		nelF = maxPredictEl
+	}
+
+	ranks := sh.Ranks
+	if ranks < 1 {
+		ranks = 1
+	}
 
 	tEnd := sh.TEnd
-	if tEnd <= 0 {
+	if math.IsNaN(tEnd) || tEnd <= 0 {
 		tEnd = problemTEnd(sh.Problem)
 	}
 	maxDim := nx
 	if ny > maxDim {
 		maxDim = ny
 	}
-	steps := int(math.Ceil(tEnd * stepRate(sh.Problem) * float64(maxDim)))
-	if steps < 1 {
-		steps = 1
+	stepsF := math.Ceil(tEnd * stepRate(sh.Problem) * float64(maxDim))
+	if !(stepsF >= 1) { // also catches NaN
+		stepsF = 1
 	}
-	if sh.MaxSteps > 0 && steps > sh.MaxSteps {
-		steps = sh.MaxSteps
+	if stepsF > maxPredictSteps {
+		stepsF = maxPredictSteps
+	}
+	if sh.MaxSteps > 0 && stepsF > float64(sh.MaxSteps) {
+		stepsF = float64(sh.MaxSteps)
 	}
 
 	host := ServingHost(sh.Threads)
-	perStep := host.OverallOf(Kernels, Workload{NEl: nel, Steps: 1})
+	perStep := host.OverallOf(Kernels, Workload{NEl: int(nelF), Steps: 1})
+	secs := perStep * stepsF * float64(ranks)
+	if math.IsInf(secs, 1) {
+		secs = math.MaxFloat64
+	}
+	if !(secs > 0) { // NaN or non-positive: never admit for free
+		secs = math.MaxFloat64
+	}
 	return Estimate{
-		NEl:         nel,
-		Steps:       steps,
+		NEl:         int(nelF),
+		Steps:       int(stepsF),
 		StepSeconds: perStep,
-		Seconds:     perStep * float64(steps),
+		Seconds:     secs,
 	}
 }

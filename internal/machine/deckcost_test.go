@@ -1,6 +1,9 @@
 package machine
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // The admission controller only consumes the ordering of estimates, so
 // the property that matters is monotonicity: a deck with more elements
@@ -72,6 +75,63 @@ func TestPredictRunDefaultsAndDegeneracies(t *testing.T) {
 	big := PredictRun(RunShape{Problem: "sod", NX: 1_000_000, NY: 1_000})
 	if big.Seconds <= sod.Seconds || big.Seconds != big.Seconds /* NaN */ {
 		t.Fatalf("giant deck estimate broken: %+v", big)
+	}
+}
+
+// TestPredictRunHostileShapesSaturate: the predictor runs on untrusted
+// numbers, so every sizing conversion must saturate instead of
+// overflowing. The two regressions pinned here used to admit hostile
+// decks with tiny (or negative) estimates: a tend past float->int range
+// overflowed the step conversion and clamped to steps=1, and nx*ny past
+// int64 wrapped negative.
+func TestPredictRunHostileShapesSaturate(t *testing.T) {
+	base := PredictRun(RunShape{Problem: "sod", NX: 200, NY: 4, TEnd: 0.25})
+
+	for _, tend := range []float64{1e17, 1e300, math.Inf(1)} {
+		est := PredictRun(RunShape{Problem: "sod", NX: 200, NY: 4, TEnd: tend})
+		if math.IsNaN(est.Seconds) || math.IsInf(est.Seconds, 0) || est.Seconds <= 0 {
+			t.Fatalf("tend=%g: estimate not finite-positive: %+v", tend, est)
+		}
+		if est.Seconds <= base.Seconds || est.Steps < base.Steps {
+			t.Fatalf("tend=%g priced cheaper than tend=0.25: %+v vs %+v", tend, est, base)
+		}
+	}
+	// NaN tend falls back to the problem default instead of poisoning
+	// the arithmetic.
+	nan := PredictRun(RunShape{Problem: "sod", NX: 200, NY: 4, TEnd: math.NaN()})
+	def := PredictRun(RunShape{Problem: "sod", NX: 200, NY: 4})
+	if nan.Seconds != def.Seconds {
+		t.Fatalf("NaN tend: %+v, want the default-tend estimate %+v", nan, def)
+	}
+
+	// nx*ny = 1.6e19 overflows int64; the estimate must stay huge and
+	// positive, never wrap negative.
+	big := PredictRun(RunShape{Problem: "sod", NX: 4_000_000_000, NY: 4_000_000_000})
+	if big.NEl <= 0 || big.Seconds <= 0 || math.IsNaN(big.Seconds) || math.IsInf(big.Seconds, 0) {
+		t.Fatalf("overflowing mesh not saturated: %+v", big)
+	}
+	if big.Seconds <= base.Seconds {
+		t.Fatalf("giant mesh priced cheaper than 200x4: %g <= %g", big.Seconds, base.Seconds)
+	}
+}
+
+// TestPredictRunChargesRanks: a multi-rank deck consumes ranks times
+// the CPU of a serial worker, so it must be charged ranks times the
+// serial estimate.
+func TestPredictRunChargesRanks(t *testing.T) {
+	serial := PredictRun(RunShape{Problem: "sod", NX: 200, NY: 4, MaxSteps: 50, Threads: 2})
+	eight := PredictRun(RunShape{Problem: "sod", NX: 200, NY: 4, MaxSteps: 50, Threads: 2, Ranks: 8})
+	if eight.Seconds != 8*serial.Seconds {
+		t.Fatalf("ranks=8 charged %g, want 8x serial %g", eight.Seconds, 8*serial.Seconds)
+	}
+}
+
+// TestServingHostThreadsClamped: a deck-declared million threads must
+// not buy unbounded modelled bandwidth (which would make the hostile
+// deck's estimate cheaper, inverting the admission gate).
+func TestServingHostThreadsClamped(t *testing.T) {
+	if got, max := ServingHost(1<<20).NodeBW, ServingHost(1024).NodeBW; got > max {
+		t.Fatalf("ServingHost(2^20).NodeBW = %g exceeds the 1024-thread clamp %g", got, max)
 	}
 }
 

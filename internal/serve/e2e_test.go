@@ -485,7 +485,10 @@ func TestParallelDeckCancel(t *testing.T) {
 // state.
 func TestServeMetricsWatch(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, Threads: 1, SnapshotEvery: 8})
-	deck := "[control]\nproblem = sod\nnx = 100\nny = 4\nmaxsteps = 200\n"
+	// Big enough (~1ms/step) that the watcher reliably attaches while
+	// the job is still running — a finished job streams exactly one
+	// document, which TestServeMetricsWatchTerminal covers.
+	deck := "[control]\nproblem = sod\nnx = 400\nny = 4\nmaxsteps = 300\n"
 	sub := submitDeck(t, ts, deck, 0)
 
 	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sub.ID + "/metrics?watch=1&interval_ms=10")
@@ -518,8 +521,39 @@ func TestServeMetricsWatch(t *testing.T) {
 	if last.State != StateDone {
 		t.Fatalf("stream ended in state %q", last.State)
 	}
-	if last.Metrics == nil || last.Metrics.Counters["steps_total"] != 200 {
+	if last.Metrics == nil || last.Metrics.Counters["steps_total"] != 300 {
 		t.Fatalf("final stream document lacks merged counters: %+v", last.Metrics)
+	}
+}
+
+// TestServeMetricsWatchTerminal: watching a job that is already in a
+// terminal state yields exactly one final document — the terminal check
+// precedes the periodic encode, so clients never see the closing record
+// duplicated.
+func TestServeMetricsWatchTerminal(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Threads: 1})
+	sub := submitDeck(t, ts, "[control]\nproblem = sod\nnx = 40\nny = 4\nmaxsteps = 10\n", 0)
+	waitState(t, ts, sub.ID, StateDone)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sub.ID + "/metrics?watch=1&interval_ms=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	docs := 0
+	var last MetricsResponse
+	for dec.More() {
+		if err := dec.Decode(&last); err != nil {
+			t.Fatalf("stream document %d: %v", docs, err)
+		}
+		docs++
+	}
+	if docs != 1 {
+		t.Fatalf("watch of a finished job produced %d documents, want exactly 1", docs)
+	}
+	if last.State != StateDone {
+		t.Fatalf("final document state %q, want %q", last.State, StateDone)
 	}
 }
 

@@ -26,6 +26,9 @@ func FuzzSubmitDeck(f *testing.F) {
 		}
 	}
 	f.Add([]byte("[control]\nproblem = sod\nnx = 1000000000\nny = 1000000\n"), "1")
+	f.Add([]byte("[control]\nproblem = sod\nranks = 100000\nthreads = 1000000\n"), "0")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 200\nny = 4\ntend = 1e300\n"), "0")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 4000000000\nny = 4000000000\n"), "0")
 	f.Add([]byte("[control]\nproblem = sod\nnx = -7\nny = 0\n"), "-3")
 	f.Add([]byte("[control]\nproblem = sod\ncheckpoint = /etc/passwd\n"), "")
 	f.Add([]byte("garbage\n"), "2147483648")

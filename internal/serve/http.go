@@ -227,6 +227,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
+		// Terminal-state check comes before the encode so the final
+		// document is emitted exactly once — a job that is already done
+		// at connect time (or finishes between ticks) gets one closing
+		// record, not a mid-loop copy plus a terminal copy.
+		select {
+		case <-j.Done():
+			enc.Encode(s.metricsResponse(j))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		default:
+		}
 		if err := enc.Encode(s.metricsResponse(j)); err != nil {
 			return
 		}
@@ -235,11 +248,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-j.Done():
-			enc.Encode(s.metricsResponse(j))
-			if flusher != nil {
-				flusher.Flush()
-			}
-			return
+			// Loop around: the top select emits the final document.
 		case <-r.Context().Done():
 			return
 		case <-tick.C:

@@ -51,6 +51,19 @@ type Options struct {
 	BudgetSeconds float64
 	// MaxDeckBytes bounds a submitted deck (default 1 MiB).
 	MaxDeckBytes int64
+	// MaxRanks and MaxThreads cap the parallelism a deck may declare
+	// for itself (defaults 8 and 16): an untrusted ranks=10^5 or
+	// threads=10^6 deck is a goroutine bomb, rejected 400 at admission.
+	MaxRanks   int
+	MaxThreads int
+	// MaxElements caps the mesh a deck may request — NX, NY, and their
+	// product (default 4 Mi elements). Rejected 400 at admission.
+	MaxElements int
+	// MaxTerminalJobs bounds how many finished jobs (and their result
+	// field arrays) are retained for GET after reaching a terminal
+	// state (default 512). The oldest terminal job is evicted first;
+	// an evicted ID answers 404.
+	MaxTerminalJobs int
 	// SnapshotEvery is the mid-run metrics cadence handed to each
 	// job's Control (0 = the Control default).
 	SnapshotEvery int
@@ -73,6 +86,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDeckBytes <= 0 {
 		o.MaxDeckBytes = 1 << 20
+	}
+	if o.MaxRanks < 1 {
+		o.MaxRanks = 8
+	}
+	if o.MaxThreads < 1 {
+		o.MaxThreads = 16
+	}
+	if o.MaxElements < 1 {
+		o.MaxElements = 4 << 20
+	}
+	if o.MaxTerminalJobs < 1 {
+		o.MaxTerminalJobs = 512
 	}
 	return o
 }
@@ -139,15 +164,16 @@ type Job struct {
 type Server struct {
 	opt Options
 
-	mu      sync.Mutex
-	wg      sync.WaitGroup
-	jobs    map[string]*Job
-	queue   []*Job // pending, highest priority first, FIFO within
-	free    []*par.Pool
-	pools   []*par.Pool
-	backlog float64 // predicted seconds of admitted unfinished work
-	seq     int
-	closed  bool
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	jobs     map[string]*Job
+	queue    []*Job // pending, highest priority first, FIFO within
+	free     []*par.Pool
+	pools    []*par.Pool
+	backlog  float64  // predicted seconds of admitted unfinished work
+	terminal []string // terminal job IDs, oldest first — retention FIFO
+	seq      int
+	closed   bool
 }
 
 // New builds a Server and warms its pool fleet.
@@ -180,20 +206,26 @@ func (s *Server) Submit(r io.Reader, priority int) (*Job, error) {
 	if err != nil {
 		return nil, &BadDeckError{Reason: err.Error()}
 	}
-	if err := serverSafe(&cfg); err != nil {
+	if err := s.serverSafe(&cfg); err != nil {
 		return nil, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, &BadDeckError{Reason: err.Error()}
 	}
-	threads := s.opt.Threads
-	if cfg.Ranks > 1 {
-		threads = cfg.Threads
-	}
+	// Threads here is the pool width the server grants, never the
+	// deck-declared count: a hostile deck must not be able to inflate
+	// the predicted platform bandwidth and price itself cheaper. The
+	// deck's own parallelism is charged through Ranks instead.
 	est := machine.PredictRun(machine.RunShape{
 		Problem: cfg.Problem, NX: cfg.NX, NY: cfg.NY,
-		TEnd: cfg.TEnd, MaxSteps: cfg.MaxSteps, Threads: threads,
+		TEnd: cfg.TEnd, MaxSteps: cfg.MaxSteps,
+		Threads: s.opt.Threads, Ranks: cfg.Ranks,
 	})
+	if math.IsNaN(est.Seconds) || math.IsInf(est.Seconds, 0) || est.Seconds <= 0 {
+		// PredictRun saturates rather than producing this, but a
+		// degenerate estimate must never slip under the budget gate.
+		return nil, &BadDeckError{Reason: "cost prediction produced a degenerate estimate"}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,10 +265,12 @@ func (s *Server) Submit(r io.Reader, priority int) (*Job, error) {
 }
 
 // serverSafe rejects deck keys that would touch the server's
-// filesystem: a remote client must not be able to write checkpoint,
-// trace or metrics files — or read arbitrary paths as restart dumps —
-// on the serving host.
-func serverSafe(cfg *bookleaf.Config) error {
+// filesystem — a remote client must not be able to write checkpoint,
+// trace or metrics files, or read arbitrary paths as restart dumps —
+// and deck-declared resource demands past the server's caps: ranks
+// and threads spawn goroutines and pools, NX*NY allocates mesh, so an
+// untrusted deck gets a typed 400 here before any of that exists.
+func (s *Server) serverSafe(cfg *bookleaf.Config) error {
 	switch cfg.Problem {
 	case "sod", "noh", "sedov", "saltzmann", "waterair", "nohdisc":
 	default:
@@ -253,6 +287,19 @@ func serverSafe(cfg *bookleaf.Config) error {
 		return &BadDeckError{Reason: "served decks may not set [obs] trace (no server-side file output)"}
 	case cfg.Metrics != "":
 		return &BadDeckError{Reason: "served decks may not set [obs] metrics (use GET /v1/jobs/{id}/metrics)"}
+	}
+	if cfg.Ranks > s.opt.MaxRanks {
+		return &BadDeckError{Reason: fmt.Sprintf("ranks %d exceeds the server cap %d", cfg.Ranks, s.opt.MaxRanks)}
+	}
+	if cfg.Threads > s.opt.MaxThreads {
+		return &BadDeckError{Reason: fmt.Sprintf("threads %d exceeds the server cap %d", cfg.Threads, s.opt.MaxThreads)}
+	}
+	// Individual caps first so the int64 product below cannot overflow.
+	if cfg.NX > s.opt.MaxElements || cfg.NY > s.opt.MaxElements {
+		return &BadDeckError{Reason: fmt.Sprintf("mesh %dx%d exceeds the server cap of %d elements", cfg.NX, cfg.NY, s.opt.MaxElements)}
+	}
+	if int64(cfg.NX)*int64(cfg.NY) > int64(s.opt.MaxElements) {
+		return &BadDeckError{Reason: fmt.Sprintf("mesh %dx%d exceeds the server cap of %d elements", cfg.NX, cfg.NY, s.opt.MaxElements)}
 	}
 	return nil
 }
@@ -552,7 +599,11 @@ func (s *Server) legDone(j *Job, res *bookleaf.Result, err error) {
 }
 
 // terminalLocked moves j to a terminal state exactly once: the
-// admission estimate leaves the backlog and waiters unblock.
+// admission estimate leaves the backlog, waiters unblock, and the job
+// joins the retention FIFO. Retention is what bounds the daemon's
+// memory under sustained traffic — a done job pins seven result field
+// arrays, so only the newest MaxTerminalJobs terminal jobs stay
+// addressable; older ones leave s.jobs entirely and answer 404.
 func (s *Server) terminalLocked(j *Job, state string, err error) {
 	j.state = state
 	j.err = err
@@ -561,6 +612,11 @@ func (s *Server) terminalLocked(j *Job, state string, err error) {
 		s.backlog = 0
 	}
 	close(j.done)
+	s.terminal = append(s.terminal, j.ID)
+	for len(s.terminal) > s.opt.MaxTerminalJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
 }
 
 // mergeSnapshots folds the parts into a fresh snapshot without

@@ -111,6 +111,87 @@ func TestSubmitRejectsFileIO(t *testing.T) {
 	}
 }
 
+// TestSubmitRejectsResourceBombs: deck-declared parallelism and mesh
+// size are capped at admission — ranks/threads spawn goroutines and
+// pools, NX*NY allocates mesh, so an untrusted deck past the caps must
+// die as a typed 400 before any of that exists. The budget is set huge
+// so the caps, not admission arithmetic, are what reject.
+func TestSubmitRejectsResourceBombs(t *testing.T) {
+	s := New(Options{Workers: 1, BudgetSeconds: 1e300, AdmitOnly: true})
+	defer s.Close()
+	for _, deck := range []string{
+		admitDeck + "ranks = 100000\n",
+		admitDeck + "threads = 1000000\n",
+		"[control]\nproblem = sod\nnx = 100000000\nny = 100000000\n", // nx, ny over the cap
+		"[control]\nproblem = sod\nnx = 4096\nny = 4096\n",           // product over the 4Mi cap
+	} {
+		_, err := s.Submit(strings.NewReader(deck), 0)
+		var bad *BadDeckError
+		if !errors.As(err, &bad) {
+			t.Fatalf("resource-bomb deck admitted (err=%v):\n%s", err, deck)
+		}
+	}
+	// Parallelism inside the caps still admits.
+	if _, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\nthreads = 2\n"), 0); err != nil {
+		t.Fatalf("in-cap parallel deck rejected: %v", err)
+	}
+}
+
+// TestRanksChargedInAdmission: a ranks=2 deck occupies twice the CPU of
+// the serial deck, so its admission estimate must double — and the
+// deck's own thread declaration must not discount it (a thread count
+// may never lower the price of an identical deck).
+func TestRanksChargedInAdmission(t *testing.T) {
+	s := New(Options{Workers: 1, Threads: 1, AdmitOnly: true})
+	defer s.Close()
+	serial, err := s.Submit(strings.NewReader(admitDeck), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks2, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks2.Est.Seconds != 2*serial.Est.Seconds {
+		t.Fatalf("ranks=2 estimate %g, want 2x serial %g",
+			ranks2.Est.Seconds, 2*serial.Est.Seconds)
+	}
+	threaded, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\nthreads = 8\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threaded.Est.Seconds < ranks2.Est.Seconds {
+		t.Fatalf("deck-declared threads discounted the estimate: %g < %g",
+			threaded.Est.Seconds, ranks2.Est.Seconds)
+	}
+}
+
+// TestTerminalJobRetention: terminal jobs (and their result arrays) are
+// retained only up to MaxTerminalJobs; the oldest evict from the job
+// table so a long-running daemon's memory stays bounded.
+func TestTerminalJobRetention(t *testing.T) {
+	s := New(Options{Workers: 1, MaxTerminalJobs: 2, AdmitOnly: true})
+	defer s.Close()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(strings.NewReader(admitDeck), 0)
+		if err != nil {
+			t.Fatalf("submission %d rejected: %v", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	for _, id := range ids[:3] {
+		if _, ok := s.Get(id); ok {
+			t.Fatalf("job %s should have been evicted from retention", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("job %s evicted while inside the retention window", id)
+		}
+	}
+}
+
 func TestSubmitRejectsOversizedDeck(t *testing.T) {
 	s := New(Options{Workers: 1, MaxDeckBytes: 64, AdmitOnly: true})
 	defer s.Close()
