@@ -30,6 +30,13 @@
 # tile-width invariance sweep, the float32 ablation) plus the hydro
 # zero-alloc and timer pins at a 4-thread scheduler — the suite that
 # guards the default step path.
+# tier2-order races the mesh-locality layer: the order package's
+# permutation property suite (round-trip, first-touch node renumbering,
+# Hilbert/RCM validity) plus the driver-level reorder battery — the
+# reordered-vs-canonical tolerance sweep at ranks {1,2,4,7}, the
+# bitwise thread-invariance grid per (reorder, layout) point, the
+# AoS-vs-SoA bitwise parity checks, and checkpoint/resume and
+# supervise-repartition under a renumbered mesh.
 # tier2-serve races the serving layer end to end: the bleaf-served job
 # API over httptest — submit→poll→result bitwise parity with a direct
 # run, malformed-deck 400s, cancel slot reclamation, N concurrent jobs
@@ -47,7 +54,11 @@
 # bench-compare is the perf gate: it re-runs the step benchmarks and
 # diffs them against the committed BENCH_step.json via
 # bleaf-bench -compare, failing when a benchmark slows by more than
-# THRESHOLD (fraction, default 0.10) or allocates more.
+# THRESHOLD (fraction, default 0.10) or allocates more. The gate
+# includes the step_ns_per_el headline — the best point of the
+# BenchmarkStepGrid reorder × layout sweep — so a locality regression
+# anywhere on the grid's frontier fails even if every named benchmark
+# individually squeaks under the threshold.
 # fuzz gives the deck-parser and HTTP-submission fuzz targets a short
 # budget each; lengthen with FUZZTIME=5m for a real session.
 
@@ -55,7 +66,7 @@ GO ?= go
 FUZZTIME ?= 30s
 THRESHOLD ?= 0.10
 
-.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-serve tier2-race test bench bench-all bench-compare fuzz clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-order tier2-serve tier2-race test bench bench-all bench-compare fuzz clean
 
 all: build
 
@@ -96,6 +107,10 @@ tier2-fuse:
 	$(GO) test -race . -run 'Fuse|Float32Aux' -count=1
 	GOMAXPROCS=4 $(GO) test -race ./internal/hydro -run 'StepZeroAllocs|Timers' -count=1
 
+tier2-order:
+	$(GO) test -race ./internal/order -count=1
+	$(GO) test -race . -run 'Reorder|Layout' -count=1
+
 tier2-serve:
 	$(GO) test -race ./internal/serve -count=1
 
@@ -103,7 +118,7 @@ tier2-race:
 	GOMAXPROCS=1 $(GO) test -race ./... -count=1
 	GOMAXPROCS=8 $(GO) test -race ./... -count=1
 
-test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-serve tier2-race
+test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-order tier2-serve tier2-race
 
 # Native fuzzing: the deck parser (seed corpus: decks/ plus the
 # regression inputs under internal/config/testdata/fuzz) and the
@@ -120,6 +135,7 @@ fuzz:
 # BenchmarkParallelStep).
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkLagrangianStep$$|BenchmarkRemap$$' -benchmem -count=5 . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkStepGrid' -benchmem -benchtime=20x -count=7 -timeout 30m . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkParallelStep' -benchmem -count=5 -timeout 30m . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkStepThreads|BenchmarkStepFusion|BenchmarkQForceFusion|BenchmarkLagUpdateFusion|BenchmarkDtReduceFusion' -benchmem -count=5 -timeout 30m ./internal/hydro ; } \
 	  | $(GO) run ./cmd/bleaf-bench -merge -o BENCH_step.json
@@ -129,7 +145,8 @@ bench-all:
 
 bench-compare:
 	@tmp=$$(mktemp) && \
-	  { $(GO) test -run '^$$' -bench 'BenchmarkStepThreads|BenchmarkStepFusion' -benchmem -count=3 ./internal/hydro ; } \
+	  { $(GO) test -run '^$$' -bench 'BenchmarkStepGrid' -benchmem -benchtime=20x -count=5 -timeout 30m . ; \
+	    $(GO) test -run '^$$' -bench 'BenchmarkStepThreads|BenchmarkStepFusion' -benchmem -count=3 ./internal/hydro ; } \
 	    | $(GO) run ./cmd/bleaf-bench -o $$tmp >/dev/null && \
 	  { $(GO) run ./cmd/bleaf-bench -compare -threshold $(THRESHOLD) BENCH_step.json $$tmp; \
 	    status=$$?; rm -f $$tmp; exit $$status; }

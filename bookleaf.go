@@ -37,6 +37,7 @@ import (
 	"bookleaf/internal/hydro"
 	"bookleaf/internal/mesh"
 	"bookleaf/internal/obs"
+	"bookleaf/internal/order"
 	"bookleaf/internal/par"
 	"bookleaf/internal/setup"
 	"bookleaf/internal/supervise"
@@ -77,6 +78,18 @@ type Config struct {
 	// Partitioner is "rcb" (default) or "metis" (the multilevel
 	// graph partitioner).
 	Partitioner string
+	// Reorder renumbers the global mesh for cache locality before any
+	// partitioning: "none" (default — the generator's row-major order,
+	// bitwise the pre-reorder behaviour), "hilbert" (space-filling
+	// curve over element centroids) or "rcm" (reverse Cuthill-McKee on
+	// the dual graph). Results, checkpoints and dumps stay in canonical
+	// generation order whatever the setting (see internal/order).
+	Reorder string
+	// Layout selects the corner-array memory layout of the hot state:
+	// "aos" (default — FX/FY and CMass/QEdge interleaved per element)
+	// or "soa" (the paper's parallel slices, kept as the ablation).
+	// Bitwise-identical either way.
+	Layout string
 
 	// ScatterAcc switches the acceleration kernel from the default
 	// race-free gather back to the reference implementation's serial
@@ -233,6 +246,12 @@ func (c *Config) normalise() error {
 	case "rcb", "metis":
 	default:
 		return fmt.Errorf("bookleaf: unknown partitioner %q", c.Partitioner)
+	}
+	if _, err := order.Parse(c.Reorder); err != nil {
+		return fmt.Errorf("bookleaf: %w", err)
+	}
+	if _, err := hydro.ParseLayout(c.Layout); err != nil {
+		return fmt.Errorf("bookleaf: %w", err)
 	}
 	if c.Overlap && c.ScatterAcc {
 		return fmt.Errorf("bookleaf: Overlap requires the gather acceleration (ScatterAcc sweeps all elements at once and has no interior/boundary split)")
@@ -412,6 +431,9 @@ func (c *Config) applyOverrides(opt *hydro.Options) {
 	opt.Fuse = !c.NoFuse
 	opt.FuseTile = c.FuseTile
 	opt.Float32Aux = c.Float32Aux
+	// Layout was validated by normalise(); the zero value (AoS) covers
+	// the empty string.
+	opt.Layout, _ = hydro.ParseLayout(c.Layout)
 	if c.testDtMin > 0 {
 		opt.DtMin = c.testDtMin
 	}
@@ -611,6 +633,20 @@ func writeSnapshotFile(path string, sn *checkpoint.Snapshot) error {
 	return nil
 }
 
+// scatterCanon copies src into a fresh slice, permuted to canonical
+// generation order through gids (src[i] lands at gids[i]). A nil gids
+// means the mesh was never renumbered and src is already canonical.
+func scatterCanon(src []float64, gids []int) []float64 {
+	if gids == nil {
+		return append([]float64(nil), src...)
+	}
+	dst := make([]float64, len(src))
+	for i, g := range gids {
+		dst[g] = src[i]
+	}
+	return dst
+}
+
 func runSerial(cfg Config) (*Result, error) {
 	pol, err := cfg.supervisePolicy()
 	if err != nil {
@@ -621,6 +657,15 @@ func runSerial(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.applyOverrides(&p.Opt)
+	canon := p.Mesh
+	if kind, _ := order.Parse(cfg.Reorder); kind != order.None {
+		// Renumber the mesh for locality; results, checkpoints and
+		// golden metrics stay in canonical generation order via the
+		// GlobalEl/GlobalNd maps the reordered mesh carries.
+		if p.Mesh, err = order.Reorder(p.Mesh, kind); err != nil {
+			return nil, fmt.Errorf("bookleaf: %w", err)
+		}
+	}
 	s, err := p.NewState()
 	if err != nil {
 		return nil, err
@@ -693,7 +738,9 @@ func runSerial(cfg Config) (*Result, error) {
 		Problem: p.Name, Ranks: 1, FinalRanks: 1, Threads: cfg.Threads,
 		NEl: p.Mesh.NEl, NNd: p.Mesh.NNd,
 		E0: e0, Mass0: mass0,
-		Mesh: p.Mesh, TEnd: tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
+		// Result fields are scattered back to canonical generation
+		// order below, so they present on the canonical mesh.
+		Mesh: canon, TEnd: tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
 	}
 	rollEvery := cfg.rollbackEvery()
 	budget := cfg.retryBudget()
@@ -807,13 +854,16 @@ func runSerial(cfg Config) (*Result, error) {
 	for _, n := range tm.Names() {
 		res.Calls[n] = tm.Count(n)
 	}
-	res.Rho = append([]float64(nil), s.Rho...)
-	res.Ein = append([]float64(nil), s.Ein...)
-	res.P = append([]float64(nil), s.P...)
-	res.U = append([]float64(nil), s.U...)
-	res.V = append([]float64(nil), s.V...)
-	res.X = append([]float64(nil), s.X...)
-	res.Y = append([]float64(nil), s.Y...)
+	// Present fields in canonical generation order: on a reordered mesh
+	// the permutation maps scatter each local value to its canonical
+	// slot; with no reordering they are plain copies.
+	res.Rho = scatterCanon(s.Rho, p.Mesh.GlobalEl)
+	res.Ein = scatterCanon(s.Ein, p.Mesh.GlobalEl)
+	res.P = scatterCanon(s.P, p.Mesh.GlobalEl)
+	res.U = scatterCanon(s.U, p.Mesh.GlobalNd)
+	res.V = scatterCanon(s.V, p.Mesh.GlobalNd)
+	res.X = scatterCanon(s.X, p.Mesh.GlobalNd)
+	res.Y = scatterCanon(s.Y, p.Mesh.GlobalNd)
 	res.EFinal = s.TotalEnergy()
 	res.ExternalWork = s.ExternalWork
 	res.FloorEnergy = s.FloorEnergy

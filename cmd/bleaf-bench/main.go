@@ -7,11 +7,16 @@
 // can be told apart from noise), and the maximum allocs/op (the
 // conservative regression bound). The record is a JSON object
 //
-//	{"env": {...}, "benchmarks": {name: {ns_op, stddev_ns, allocs_op, runs}}}
+//	{"env": {...}, "step_ns_per_el": N, "benchmarks": {name: {ns_op, stddev_ns, allocs_op, runs, ns_per_el}}}
 //
 // where env captures the machine the numbers were taken on: go
-// version, GOOS/GOARCH, CPU count and GOMAXPROCS. Records written by
-// older versions (a flat name → entry map, no env) are still read.
+// version, GOOS/GOARCH, CPU count and GOMAXPROCS. Benchmarks that
+// report the per-element custom metric (b.ReportMetric(..., "ns/el"))
+// carry it per entry, and the best of them is promoted to the
+// top-level step_ns_per_el headline — the repo's single-number
+// step-path trajectory, gated by -compare like any ns/op. Records
+// written by older versions (a flat name → entry map, no env or
+// headline) are still read.
 //
 // Usage:
 //
@@ -60,12 +65,20 @@ var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.
 
 var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
 
+// nsPerElField matches the per-element custom metric the step
+// benchmarks report (b.ReportMetric(..., "ns/el")).
+var nsPerElField = regexp.MustCompile(`([0-9.]+) ns/el`)
+
 // Entry is one benchmark's aggregated record.
 type Entry struct {
 	NsOp     float64 `json:"ns_op"`
 	StdDevNs float64 `json:"stddev_ns"`
 	AllocsOp float64 `json:"allocs_op"`
 	Runs     int     `json:"runs"`
+	// NsPerEl is the benchmark's per-element step cost where reported
+	// (minimum across repetitions, like NsOp); 0 when the benchmark
+	// has no per-element metric.
+	NsPerEl float64 `json:"ns_per_el,omitempty"`
 
 	// Accumulators for the running stddev; unexported so they never
 	// reach the JSON record.
@@ -81,11 +94,29 @@ type Env struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
-// Record is the on-disk schema: environment metadata plus the
-// benchmark map.
+// Record is the on-disk schema: environment metadata, the headline
+// metric, and the benchmark map.
 type Record struct {
-	Env        Env               `json:"env"`
-	Benchmarks map[string]*Entry `json:"benchmarks"`
+	Env Env `json:"env"`
+	// StepNsPerEl is the headline: the best (minimum) per-element step
+	// cost across every benchmark that reports the ns/el metric — the
+	// repo's single-number step-path trajectory. Derived from
+	// Benchmarks at write time, so merges recompute it; -compare gates
+	// on it like on any ns/op, at the same threshold.
+	StepNsPerEl float64           `json:"step_ns_per_el,omitempty"`
+	Benchmarks  map[string]*Entry `json:"benchmarks"`
+}
+
+// headline returns the minimum reported ns/el across entries (0 when
+// no benchmark reports the metric).
+func headline(entries map[string]*Entry) float64 {
+	best := 0.0
+	for _, e := range entries {
+		if e.NsPerEl > 0 && (best == 0 || e.NsPerEl < best) {
+			best = e.NsPerEl
+		}
+	}
+	return best
 }
 
 func currentEnv() Env {
@@ -152,7 +183,7 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(Record{Env: currentEnv(), Benchmarks: entries}); err != nil {
+	if err := enc.Encode(Record{Env: currentEnv(), StepNsPerEl: headline(entries), Benchmarks: entries}); err != nil {
 		fmt.Fprintln(os.Stderr, "bleaf-bench:", err)
 		os.Exit(1)
 	}
@@ -266,6 +297,21 @@ func compareRecords(w io.Writer, oldPath, newPath string, threshold float64) (in
 			fmt.Fprintf(w, "%-48s %14.0f %14s %9s\n", n, oldRec.Benchmarks[n].NsOp, "-", "gone")
 		}
 	}
+	// The headline gates at the same threshold. Recomputed from the
+	// entries rather than trusting the stored field, so a stale or
+	// hand-edited step_ns_per_el cannot dodge (or fake) the gate.
+	oh, nh := headline(oldRec.Benchmarks), headline(newRec.Benchmarks)
+	if oh > 0 && nh > 0 {
+		delta := (nh - oh) / oh
+		verdict := ""
+		if delta > threshold {
+			verdict = "  REGRESSION"
+			regressions++
+		} else if delta < -threshold {
+			verdict = "  improved"
+		}
+		fmt.Fprintf(w, "%-48s %14.2f %14.2f %+8.1f%%%s\n", "step_ns_per_el (headline)", oh, nh, 100*delta, verdict)
+	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "%d regression(s) beyond %.0f%% threshold\n", regressions, 100*threshold)
 	}
@@ -288,9 +334,13 @@ func aggregate(sc *bufio.Scanner) (map[string]*Entry, error) {
 		if am := allocsField.FindStringSubmatch(m[4]); am != nil {
 			allocs, _ = strconv.ParseFloat(am[1], 64)
 		}
+		nsel := 0.0
+		if nm := nsPerElField.FindStringSubmatch(m[4]); nm != nil {
+			nsel, _ = strconv.ParseFloat(nm[1], 64)
+		}
 		e, ok := entries[name]
 		if !ok {
-			entries[name] = &Entry{NsOp: ns, AllocsOp: allocs, Runs: 1, sum: ns, sumsq: ns * ns}
+			entries[name] = &Entry{NsOp: ns, AllocsOp: allocs, NsPerEl: nsel, Runs: 1, sum: ns, sumsq: ns * ns}
 			continue
 		}
 		if ns < e.NsOp {
@@ -298,6 +348,9 @@ func aggregate(sc *bufio.Scanner) (map[string]*Entry, error) {
 		}
 		if allocs > e.AllocsOp {
 			e.AllocsOp = allocs
+		}
+		if nsel > 0 && (e.NsPerEl == 0 || nsel < e.NsPerEl) {
+			e.NsPerEl = nsel
 		}
 		e.Runs++
 		e.sum += ns

@@ -219,3 +219,128 @@ func TestCompareRecordsIdentity(t *testing.T) {
 		t.Fatalf("identity compare: %d regressions, err %v", n, err)
 	}
 }
+
+// Step benchmarks report a per-element metric; the aggregator keeps
+// the minimum across repetitions and promotes the best to the record
+// headline.
+func TestAggregateNsPerEl(t *testing.T) {
+	in := `BenchmarkStepGrid/reorder=none/layout=soa-8     100   400000 ns/op   110.5 ns/el   0 allocs/op
+BenchmarkStepGrid/reorder=none/layout=soa-8     100   420000 ns/op   115.0 ns/el   0 allocs/op
+BenchmarkStepGrid/reorder=hilbert/layout=aos-8  100   300000 ns/op    82.3 ns/el   0 allocs/op
+BenchmarkLagrangianStep-8                        50  2600000 ns/op   0 B/op   0 allocs/op
+`
+	got, err := aggregate(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got["BenchmarkStepGrid/reorder=none/layout=soa-8"]; e == nil || e.NsPerEl != 110.5 {
+		t.Fatalf("ns/el not aggregated as min: %+v", e)
+	}
+	if e := got["BenchmarkLagrangianStep-8"]; e == nil || e.NsPerEl != 0 {
+		t.Fatalf("metric-free benchmark gained ns/el: %+v", e)
+	}
+	if h := headline(got); h != 82.3 {
+		t.Fatalf("headline %g, want best point 82.3", h)
+	}
+}
+
+// The headline gates in -compare at the ns/op threshold: a slower best
+// point is a regression, a faster one an improvement, and records
+// without the metric (legacy) skip the gate.
+func TestCompareGatesHeadline(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeRecord(t, oldPath, Record{Benchmarks: map[string]*Entry{
+		"BenchmarkStepGrid/reorder=hilbert/layout=aos-8": {NsOp: 1000, Runs: 5, NsPerEl: 80},
+	}})
+	writeRecord(t, newPath, Record{Benchmarks: map[string]*Entry{
+		"BenchmarkStepGrid/reorder=hilbert/layout=aos-8": {NsOp: 1030, Runs: 5, NsPerEl: 100},
+	}})
+	var buf bytes.Buffer
+	n, err := compareRecords(&buf, oldPath, newPath, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !strings.Contains(buf.String(), "step_ns_per_el") {
+		t.Fatalf("headline regression not gated (%d):\n%s", n, buf.String())
+	}
+	// Improvement direction: no regression, marked improved.
+	buf.Reset()
+	n, err = compareRecords(&buf, newPath, oldPath, 0.05)
+	if err != nil || n != 0 {
+		t.Fatalf("headline improvement flagged as regression (%d, %v)", n, err)
+	}
+	if !strings.Contains(buf.String(), "improved") {
+		t.Fatalf("improvement not reported:\n%s", buf.String())
+	}
+	// Legacy record without the metric: gate skipped, no crash.
+	legacyPath := filepath.Join(dir, "legacy.json")
+	writeRecord(t, legacyPath, Record{Benchmarks: map[string]*Entry{
+		"BenchmarkStepGrid/reorder=hilbert/layout=aos-8": {NsOp: 1000, Runs: 5},
+	}})
+	buf.Reset()
+	if n, err = compareRecords(&buf, legacyPath, newPath, 0.05); err != nil || n != 0 {
+		t.Fatalf("legacy headline compare: %d regressions, err %v\n%s", n, err, buf.String())
+	}
+}
+
+// A hand-edited headline cannot dodge the gate: compare recomputes it
+// from the entries.
+func TestCompareHeadlineRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeRecord(t, oldPath, Record{StepNsPerEl: 80, Benchmarks: map[string]*Entry{
+		"BenchmarkStepGrid/p-8": {NsOp: 1000, Runs: 5, NsPerEl: 80},
+	}})
+	// The stored headline claims 80 but the entries say 120.
+	writeRecord(t, newPath, Record{StepNsPerEl: 80, Benchmarks: map[string]*Entry{
+		"BenchmarkStepGrid/p-8": {NsOp: 1000, Runs: 5, NsPerEl: 120},
+	}})
+	var buf bytes.Buffer
+	n, err := compareRecords(&buf, oldPath, newPath, 0.05)
+	if err != nil || n != 1 {
+		t.Fatalf("forged headline slipped the gate: %d regressions, err %v\n%s", n, err, buf.String())
+	}
+}
+
+// Merging the same results twice is a no-op: the reorder/layout axes
+// (and every other axis) land once, and a re-run of the identical
+// bench output leaves the record byte-identical apart from env.
+func TestMergeIdempotent(t *testing.T) {
+	in := `BenchmarkStepGrid/reorder=none/layout=soa-8     100   400000 ns/op   110.5 ns/el   0 allocs/op
+BenchmarkStepGrid/reorder=hilbert/layout=aos-8  100   300000 ns/op    82.3 ns/el   0 allocs/op
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_step.json")
+
+	first, err := aggregate(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mergePrevious(path, first); err != nil {
+		t.Fatal(err)
+	}
+	writeRecord(t, path, Record{Env: currentEnv(), StepNsPerEl: headline(first), Benchmarks: first})
+
+	second, err := aggregate(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mergePrevious(path, second); err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("re-merge changed the axis count: %d vs %d", len(second), len(first))
+	}
+	for name, e1 := range first {
+		e2 := second[name]
+		if e2 == nil || e1.NsOp != e2.NsOp || e1.NsPerEl != e2.NsPerEl || e1.AllocsOp != e2.AllocsOp || e1.Runs != e2.Runs {
+			t.Fatalf("%s drifted across an idempotent merge: %+v vs %+v", name, e1, e2)
+		}
+	}
+	if headline(second) != headline(first) {
+		t.Fatalf("headline drifted: %g vs %g", headline(second), headline(first))
+	}
+}

@@ -63,7 +63,7 @@ func run() error {
 		Workers: *workers, Threads: *threads,
 		BudgetSeconds: *budget, MaxDeckBytes: *maxDeck,
 		SnapshotEvery: *snapshot,
-		MaxRanks: *maxRanks, MaxThreads: *maxThr,
+		MaxRanks:      *maxRanks, MaxThreads: *maxThr,
 		MaxElements: *maxEl, MaxTerminalJobs: *maxTerm,
 	})
 

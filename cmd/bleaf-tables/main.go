@@ -28,6 +28,8 @@ import (
 
 	"bookleaf"
 	"bookleaf/internal/machine"
+	"bookleaf/internal/order"
+	"bookleaf/internal/setup"
 )
 
 func main() {
@@ -43,13 +45,14 @@ func main() {
 		real   = flag.Bool("real", false, "run the real implementation at reduced scale")
 		whatif = flag.Bool("whatif", false, "model the paper's future-work CUB scenario")
 		roofl  = flag.Bool("roofline", false, "print the kernel-fusion roofline readout")
+		reord  = flag.Bool("reorder", false, "print the mesh-renumbering locality readout")
 		all    = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f1, *f2a, *f2b, *f3, *f4a, *f4b, *real, *whatif, *roofl = true, true, true, true, true, true, true, true, true, true, true
+		*t1, *t2, *f1, *f2a, *f2b, *f3, *f4a, *f4b, *real, *whatif, *roofl, *reord = true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *f1 || *f2a || *f2b || *f3 || *f4a || *f4b || *real || *whatif || *roofl) {
+	if !(*t1 || *t2 || *f1 || *f2a || *f2b || *f3 || *f4a || *f4b || *real || *whatif || *roofl || *reord) {
 		flag.Usage()
 		return
 	}
@@ -77,6 +80,9 @@ func main() {
 	}
 	if *roofl {
 		roofline()
+	}
+	if *reord {
+		reorderReadout()
 	}
 	if *real {
 		realRuns()
@@ -114,6 +120,65 @@ func roofline() {
 		"overall", skl.Overall(w)/skl.OverallOf(machine.FusedKernels(), w),
 		bdw.Overall(w)/bdw.OverallOf(machine.FusedKernels(), w))
 	fmt.Println()
+}
+
+// reorderReadout prints the mesh-renumbering locality readout on the
+// BenchmarkStepGrid mesh (Noh 192x192, the same mesh BENCH_step.json's
+// reorder x layout grid measures): the reuse-distance proxy of each
+// numbering, the gather derate it implies against the generator's
+// row-major sweep, and the predicted step speedup on the
+// bandwidth-bound CPU platforms. EXPERIMENTS.md pairs these with the
+// measured ns/el from the grid benchmark.
+func reorderReadout() {
+	var skl, bdw machine.Platform
+	for _, pl := range machine.Platforms() {
+		switch pl.Name {
+		case "Skylake MPI":
+			skl = pl
+		case "Broadwell MPI":
+			bdw = pl
+		}
+	}
+	// Two regimes. On the wide Sod strong-scaling mesh (the
+	// BenchmarkStepGrid geometry) the row-major sweep re-touches a node
+	// row only after streaming the whole 8192-element row between — far
+	// past any cache — so the numbering decides whether gathers hit;
+	// this is where the renumbering pays and where the measured grid in
+	// BENCH_step.json is recorded. On a laptop-scale square mesh the
+	// ~194-node row-to-row working set already fits L1 and the proxy
+	// correctly predicts (and measurement confirms) roughly nothing.
+	for _, mesh := range []struct {
+		name   string
+		nx, ny int
+		gen    func(int, int) (*setup.Problem, error)
+	}{
+		{"Sod 8192x8 (grid-benchmark mesh)", 8192, 8, setup.Sod},
+		{"Noh 192x192 (square, row fits cache)", 192, 192, setup.Noh},
+	} {
+		p, err := mesh.gen(mesh.nx, mesh.ny)
+		if err != nil {
+			fmt.Printf("  mesh generation failed: %v\n", err)
+			return
+		}
+		fmt.Printf("== Mesh renumbering locality readout (%s, reuse window %d) ==\n",
+			mesh.name, machine.DefaultReuseWindow)
+		base := machine.MeshReuse(p.Mesh.ElNd, p.Mesh.NNd, 0)
+		fmt.Printf("%-10s %10s %10s %8s %10s %10s\n",
+			"reorder", "miss-rate", "span", "derate", "Skylake", "Broadwell")
+		for _, kind := range []order.Kind{order.None, order.Hilbert, order.RCM} {
+			m, err := order.Reorder(p.Mesh, kind)
+			if err != nil {
+				fmt.Printf("  %s: %v\n", kind, err)
+				continue
+			}
+			loc := machine.MeshReuse(m.ElNd, m.NNd, 0)
+			fmt.Printf("%-10s %10.4f %10.1f %7.3fx %9.3fx %9.3fx\n",
+				kind, loc.MissRate, loc.Span, machine.GatherDerate(loc, base),
+				machine.PredictReorderGain(&skl, machine.FusedKernels(), m.NEl, base, loc),
+				machine.PredictReorderGain(&bdw, machine.FusedKernels(), m.NEl, base, loc))
+		}
+		fmt.Println()
+	}
 }
 
 // whatIf prints the paper's future-work scenario: CUDA with proper

@@ -51,6 +51,8 @@ func run() error {
 		ranks       = flag.Int("ranks", 1, "goroutine ranks (flat-MPI analogue)")
 		threads     = flag.Int("threads", 1, "threads per rank (OpenMP analogue)")
 		partitioner = flag.String("partitioner", "rcb", "rcb or metis")
+		reorder     = flag.String("reorder", "", "mesh renumbering for locality: none, hilbert, rcm (default none)")
+		layout      = flag.String("layout", "", "corner-array layout: aos (interleaved, default) or soa (paper ablation)")
 		aleMode     = flag.String("ale", "", "ALE mode: eulerian, smoothed (default Lagrangian)")
 		aleFreq     = flag.Int("alefreq", 1, "remap every n steps")
 		hourglass   = flag.String("hourglass", "", "override: none, filter, subzonal")
@@ -132,6 +134,7 @@ func run() error {
 		cfg = bookleaf.Config{
 			Problem: *problem, NX: *nx, NY: *ny, TEnd: *tend, MaxSteps: *maxSteps,
 			Ranks: *ranks, Threads: *threads, Partitioner: *partitioner,
+			Reorder: *reorder, Layout: *layout,
 			ALE: *aleMode, ALEFreq: *aleFreq, Hourglass: *hourglass,
 			ScatterAcc: *scatterAcc, Overlap: *overlap, SedovEnergy: *sedovE,
 			NoFuse: !*fuse, FuseTile: *fuseTile, Float32Aux: *f32aux,
@@ -155,6 +158,10 @@ func run() error {
 			cfg.FuseTile = *fuseTile
 		case "f32aux":
 			cfg.Float32Aux = *f32aux
+		case "reorder":
+			cfg.Reorder = *reorder
+		case "layout":
+			cfg.Layout = *layout
 		}
 	})
 	// Observability flags compose with decks: a flag set on the command

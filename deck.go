@@ -31,6 +31,8 @@ func ConfigFromDeck(d *config.Deck) (Config, error) {
 		return cfg, err
 	}
 	cfg.Partitioner = d.String("control", "partitioner", "rcb")
+	cfg.Reorder = d.String("control", "reorder", "")
+	cfg.Layout = d.String("control", "layout", "")
 	if cfg.Overlap, err = d.Bool("control", "overlap", false); err != nil {
 		return cfg, err
 	}

@@ -451,8 +451,9 @@ func (r *Remapper) Apply(s *hydro.State, tm *timers.Set, hooks *Hooks) error {
 	// cell width, typically because the target mesh tangled) would
 	// otherwise drive density negative mid-commit.
 	if min, _ := pool.ReduceMin(4*nel, r.kb.cmassAt); min <= 0 {
+		cs := s.CornerStride()
 		for i := 0; i < 4*nel; i++ {
-			if v := s.CMass[i] + r.dCMass[i]; v <= 0 {
+			if v := s.CMass[(i>>2)*cs+(i&3)] + r.dCMass[i]; v <= 0 {
 				r.exchangeUV(s, hooks)
 				tm.Stop("aleupdate")
 				return &ErrRemap{Element: i / 4, Corner: i & 3, Mass: v}
@@ -869,12 +870,13 @@ func (r *Remapper) momGatherRange(lo, hi int) {
 
 func (r *Remapper) massEnergyRange(lo, hi int) {
 	s := r.ra.s
+	cs := s.CornerStride()
 	for e := lo; e < hi; e++ {
 		oldMass := s.Mass[e]
 		var newMass float64
 		for k := 0; k < 4; k++ {
-			s.CMass[4*e+k] += r.dCMass[4*e+k]
-			newMass += s.CMass[4*e+k]
+			s.CMass[cs*e+k] += r.dCMass[4*e+k]
+			newMass += s.CMass[cs*e+k]
 		}
 		energy := oldMass*s.Ein[e] + r.dEnergy[e]
 		s.Mass[e] = newMass
@@ -898,10 +900,11 @@ func (r *Remapper) stashRange(lo, hi int) {
 func (r *Remapper) ndMassRange(lo, hi int) {
 	s := r.ra.s
 	m := s.Mesh
+	slots := s.NdSlots()
 	for n := lo; n < hi; n++ {
 		var sum float64
 		for i := m.NdElStart[n]; i < m.NdElStart[n+1]; i++ {
-			sum += s.CMass[m.NdCorner[i]]
+			sum += s.CMass[slots[i]]
 		}
 		s.NdMass[n] = sum
 	}
@@ -951,7 +954,10 @@ func (r *Remapper) commitRange(lo, hi int) {
 
 // --- guard probes (deterministic ReduceMin bodies) ----------------------
 
-func (r *Remapper) cmassAt(i int) float64  { return r.ra.s.CMass[i] + r.dCMass[i] }
+func (r *Remapper) cmassAt(i int) float64 {
+	s := r.ra.s
+	return s.CMass[(i>>2)*s.CornerStride()+(i&3)] + r.dCMass[i]
+}
 func (r *Remapper) ndMassAt(i int) float64 { return r.ra.s.NdMass[i] }
 func (r *Remapper) volAt(i int) float64    { return r.volT[i] }
 

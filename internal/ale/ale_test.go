@@ -71,9 +71,10 @@ func rebuildMasses(s *hydro.State) {
 		s.Vol[e] = vol
 		s.Mass[e] = s.Rho[e] * vol
 		subVolsInto(&x, &y, &sv)
+		cs := s.CornerStride()
 		for k := 0; k < 4; k++ {
-			s.CMass[4*e+k] = s.Rho[e] * sv[k]
-			s.NdMass[m.ElNd[e][k]] += s.CMass[4*e+k]
+			s.CMass[cs*e+k] = s.Rho[e] * sv[k]
+			s.NdMass[m.ElNd[e][k]] += s.CMass[cs*e+k]
 		}
 	}
 }

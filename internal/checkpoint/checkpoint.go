@@ -92,6 +92,7 @@ func globalNd(s *hydro.State, i int) int {
 // slots are disjoint); a serial state fills the whole snapshot.
 func (sn *Snapshot) Gather(s *hydro.State) error {
 	m := s.Mesh
+	cs := s.CornerStride()
 	for i := 0; i < m.NOwnEl; i++ {
 		ge := globalEl(s, i)
 		if ge < 0 || ge >= sn.NEl {
@@ -104,8 +105,10 @@ func (sn *Snapshot) Gather(s *hydro.State) error {
 		sn.Csq[ge] = s.Csq[i]
 		sn.Vol[ge] = s.Vol[i]
 		sn.Mass[ge] = s.Mass[i]
+		// The snapshot keeps the fixed stride-4 corner format whatever
+		// the in-memory layout — the on-disk format is layout-blind.
 		for k := 0; k < 4; k++ {
-			sn.CMass[4*ge+k] = s.CMass[4*i+k]
+			sn.CMass[4*ge+k] = s.CMass[cs*i+k]
 		}
 	}
 	for i := 0; i < m.NOwnNd; i++ {
@@ -181,6 +184,7 @@ func (sn *Snapshot) Restore(s *hydro.State, problem string, nx, ny int) error {
 			sn.Problem, sn.NX, sn.NY, problem, nx, ny)
 	}
 	m := s.Mesh
+	cs := s.CornerStride()
 	if m.GlobalEl == nil && (m.NEl != sn.NEl || m.NNd != sn.NNd) {
 		return fmt.Errorf("checkpoint: field sizes do not match the state (nodes %d vs %d, elements %d vs %d)",
 			sn.NNd, m.NNd, sn.NEl, m.NEl)
@@ -198,7 +202,7 @@ func (sn *Snapshot) Restore(s *hydro.State, problem string, nx, ny int) error {
 		s.Vol[i] = sn.Vol[ge]
 		s.Mass[i] = sn.Mass[ge]
 		for k := 0; k < 4; k++ {
-			s.CMass[4*i+k] = sn.CMass[4*ge+k]
+			s.CMass[cs*i+k] = sn.CMass[4*ge+k]
 		}
 	}
 	for i := 0; i < m.NNd; i++ {

@@ -24,7 +24,7 @@ func (s *State) accListBody(plo, phi int) {
 	m := s.Mesh
 	dt := s.ka.dt
 	list := s.ka.list
-	start, slots := m.NdElStart, m.NdCorner
+	start, slots := m.NdElStart, s.ndSlots
 	for i := plo; i < phi; i++ {
 		n := list[i]
 		var fx, fy float64
@@ -112,7 +112,7 @@ func (s *State) einListBody(chunk, plo, phi int) {
 	for i := plo; i < phi; i++ {
 		e := list[i]
 		nd := &m.ElNd[e]
-		base := 4 * e
+		base := s.cs * e
 		var w float64
 		for k := 0; k < 4; k++ {
 			w += s.FX[base+k]*uArr[nd[k]] + s.FY[base+k]*vArr[nd[k]]

@@ -80,7 +80,9 @@ func (s *State) qforceBody(_, plo, phi int) {
 		rho := s.Rho[e]
 		csq := s.Csq[e]
 		cs := math.Sqrt(csq)
-		base := 4 * e
+		// Corner-array record of e (stride s.cs, layout-dependent); the
+		// facing table stays at stride 4 — it is topology, not state.
+		base := s.cs * e
 
 		// --- getq: edge viscosity with the two-ring limiter (the
 		// per-element body of qBody, on the shared gathers).
@@ -107,7 +109,7 @@ func (s *State) qforceBody(_, plo, phi int) {
 			oduy := -(v[ko2p] - v[ko2])
 			r := (odux*dux + oduy*duy) / du2
 			if nb := m.ElEl[e][k]; nb >= 0 {
-				kk := int(s.facing[base+k])
+				kk := int(s.facing[4*e+k])
 				if kk < 0 {
 					panic("hydro: element adjacency not symmetric")
 				}
@@ -290,7 +292,7 @@ func (s *State) updateListBody(chunk, plo, phi int) {
 // accumulator bit for bit.
 func (s *State) fusedElem(e int, dt float64, uArr, vArr []float64, x, y *[4]float64, mats []eos.Material, reg []int, fl *float64) {
 	nd := &s.Mesh.ElNd[e]
-	base := 4 * e
+	base := s.cs * e
 	for k := 0; k < 4; k++ {
 		x[k] = s.X[nd[k]]
 		y[k] = s.Y[nd[k]]

@@ -129,6 +129,10 @@ func (s *State) Save(m *Memento) {
 	cp(&m.ein, s.Ein)
 	cp(&m.p, s.P)
 	cp(&m.q, s.Q)
+	// In the AoS layout qEdge and cMass are overlapping views of one
+	// interleaved backing, so these two copies overlap; both are taken
+	// at the same instant, so restoring both rewrites the shared slots
+	// with identical values.
 	cp(&m.qEdge, s.QEdge)
 	cp(&m.csq, s.Csq)
 	cp(&m.vol, s.Vol)

@@ -59,7 +59,7 @@ func TestNewStateMassesConsistent(t *testing.T) {
 	for e := 0; e < m.NEl; e++ {
 		var cm float64
 		for k := 0; k < 4; k++ {
-			cm += s.CMass[4*e+k]
+			cm += s.CMass[s.CornerStride()*e+k]
 		}
 		if math.Abs(cm-s.Mass[e]) > 1e-14 {
 			t.Fatalf("element %d corner masses %v != mass %v", e, cm, s.Mass[e])
@@ -204,8 +204,8 @@ func TestForcesBalancePerElement(t *testing.T) {
 		for e := 0; e < m.NEl; e++ {
 			var fx, fy float64
 			for k := 0; k < 4; k++ {
-				fx += s.FX[4*e+k]
-				fy += s.FY[4*e+k]
+				fx += s.FX[s.CornerStride()*e+k]
+				fy += s.FY[s.CornerStride()*e+k]
 			}
 			if math.Abs(fx) > 1e-12 || math.Abs(fy) > 1e-12 {
 				t.Fatalf("hg=%v element %d net force (%v,%v)", hg, e, fx, fy)
@@ -230,7 +230,7 @@ func TestPressureForcePushesOutward(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		rx := x[k] - cx
 		ry := y[k] - cy
-		dot := rx*s.FX[4*centre+k] + ry*s.FY[4*centre+k]
+		dot := rx*s.FX[s.CornerStride()*centre+k] + ry*s.FY[s.CornerStride()*centre+k]
 		if dot <= 0 {
 			t.Fatalf("corner %d force not outward (dot=%v)", k, dot)
 		}

@@ -218,12 +218,14 @@ func (s *State) qBody(plo, phi int) {
 	cq1, cq2 := s.Opt.CQ1, s.Opt.CQ2
 	lo := s.ka.lo
 	f32 := s.Opt.Float32Aux
+	stride := s.cs
 	var x, y, u, v [4]float64
 	for e := lo + plo; e < lo+phi; e++ {
 		s.gatherCoords(e, &x, &y)
 		s.gatherVel(e, s.U, s.V, &u, &v)
 		rho := s.Rho[e]
 		cs := math.Sqrt(s.Csq[e])
+		base := stride * e
 		var qsum float64
 		for k := 0; k < 4; k++ {
 			kp := (k + 1) & 3
@@ -233,12 +235,12 @@ func (s *State) qBody(plo, phi int) {
 			dxy := y[kp] - y[k]
 			// Only compressive edges (shortening) contribute.
 			if dux*dxx+duy*dxy >= 0 {
-				s.putQEdge(4*e+k, 0, f32)
+				s.putQEdge(base+k, 0, f32)
 				continue
 			}
 			du2 := dux*dux + duy*duy
 			if du2 == 0 {
-				s.putQEdge(4*e+k, 0, f32)
+				s.putQEdge(base+k, 0, f32)
 				continue
 			}
 			du := math.Sqrt(du2)
@@ -291,7 +293,7 @@ func (s *State) qBody(plo, phi int) {
 			// edge pair, i.e. an edge pressure q acting over the
 			// edge length.
 			edgeLen := math.Sqrt(dxx*dxx + dxy*dxy)
-			s.putQEdge(4*e+k, qEdge*edgeLen/du, f32)
+			s.putQEdge(base+k, qEdge*edgeLen/du, f32)
 		}
 		s.Q[e] = 0.25 * qsum
 	}
@@ -331,6 +333,7 @@ func (s *State) forceBody(plo, phi int) {
 	lo := s.ka.lo
 	uArr, vArr := s.ka.u, s.ka.v
 	f32 := s.Opt.Float32Aux
+	stride := s.cs
 	// Only the edge-damper ablation and the hourglass filter act on
 	// nodal velocities; the default sub-zonal path never reads them, so
 	// the gather is skipped (values are unchanged either way).
@@ -341,7 +344,7 @@ func (s *State) forceBody(plo, phi int) {
 		s.gatherCoords(e, &x, &y)
 		geom.BasisGrad(&x, &y, &ax, &ay)
 		pq := s.P[e] + s.Q[e]
-		base := 4 * e
+		base := stride * e
 		for k := 0; k < 4; k++ {
 			s.FX[base+k] = pq * ax[k]
 			s.FY[base+k] = pq * ay[k]
@@ -414,7 +417,7 @@ func (s *State) forceBody(plo, phi int) {
 // their two edge nodes with 1/2, the centroid to all four with 1/4 —
 // fold into four fused per-corner updates.
 func (s *State) subzonalForce(e int, x, y *[4]float64, rho, csq, q float64, f32 bool) {
-	base := 4 * e
+	base := s.cs * e
 	cx, cy := geom.Centroid(x, y)
 	var mx, my [4]float64
 	for k := 0; k < 4; k++ {
@@ -500,7 +503,7 @@ func (s *State) GetAcc(dt float64) {
 	s.Pool.Serial(m.NEl, func(lo, hi int) {
 		for e := lo; e < hi; e++ {
 			nd := &m.ElNd[e]
-			base := 4 * e
+			base := s.cs * e
 			for k := 0; k < 4; k++ {
 				fxn[nd[k]] += s.FX[base+k]
 				fyn[nd[k]] += s.FY[base+k]
@@ -517,7 +520,7 @@ func (s *State) GetAcc(dt float64) {
 func (s *State) accBody(lo, hi int) {
 	m := s.Mesh
 	dt := s.ka.dt
-	start, slots := m.NdElStart, m.NdCorner
+	start, slots := m.NdElStart, s.ndSlots
 	for n := lo; n < hi; n++ {
 		var fx, fy float64
 		for _, ci := range slots[start[n]:start[n+1]] {
@@ -669,7 +672,7 @@ func (s *State) einBody(chunk, plo, phi int) {
 	var added float64
 	for e := lo + plo; e < lo+phi; e++ {
 		nd := &m.ElNd[e]
-		base := 4 * e
+		base := s.cs * e
 		var w float64
 		for k := 0; k < 4; k++ {
 			w += s.FX[base+k]*uArr[nd[k]] + s.FY[base+k]*vArr[nd[k]]

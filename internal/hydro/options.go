@@ -34,6 +34,46 @@ func (h HourglassControl) String() string {
 	}
 }
 
+// Layout selects the memory layout of the hot corner-indexed arrays
+// (the FX/FY force pair and the CMass/QEdge auxiliary pair).
+type Layout int
+
+const (
+	// LayoutAoS interleaves each pair into one per-element record
+	// (FX[0..3]|FY[0..3], CMass[0..3]|QEdge[0..3] — a 64-byte line per
+	// element per pair), so the force writes, the acceleration gather
+	// and the energy dot products touch one cache line where SoA
+	// touches two. The default: results are bitwise-identical to SoA
+	// because only addressing changes, never the arithmetic order.
+	LayoutAoS Layout = iota
+	// LayoutSoA keeps the paper's parallel-array layout (stride 4),
+	// retained as the ablation baseline for the layout benchmarks.
+	LayoutSoA
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutAoS:
+		return "aos"
+	case LayoutSoA:
+		return "soa"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// ParseLayout maps a -layout / [control] layout value onto a Layout.
+// The empty string selects the AoS default.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "aos":
+		return LayoutAoS, nil
+	case "soa":
+		return LayoutSoA, nil
+	}
+	return LayoutAoS, fmt.Errorf("hydro: unknown layout %q (want aos or soa)", s)
+}
+
 // Options are the numerical controls of the Lagrangian step; the zero
 // value is not usable — call DefaultOptions and override.
 type Options struct {
@@ -97,6 +137,10 @@ type Options struct {
 	// evolved fields stay float64, but forces see rounded inputs, so
 	// results are no longer bitwise-comparable to the float64 runs.
 	Float32Aux bool
+	// Layout selects the corner-array memory layout: interleaved AoS
+	// records (the zero value, the default) or the parallel SoA slices
+	// (the ablation). Bitwise-identical either way.
+	Layout Layout
 }
 
 // DefaultOptions returns the standard BookLeaf-style controls for the

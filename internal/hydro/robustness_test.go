@@ -178,8 +178,8 @@ func TestEdgeQForcesConserve(t *testing.T) {
 	for e := 0; e < m.NEl; e++ {
 		var fx, fy float64
 		for k := 0; k < 4; k++ {
-			fx += s.FX[4*e+k]
-			fy += s.FY[4*e+k]
+			fx += s.FX[s.CornerStride()*e+k]
+			fy += s.FY[s.CornerStride()*e+k]
 		}
 		if math.Abs(fx) > 1e-12 || math.Abs(fy) > 1e-12 {
 			t.Fatalf("edge-q element %d net force (%v,%v)", e, fx, fy)
@@ -194,9 +194,12 @@ func TestQEdgeZeroWithoutCompression(t *testing.T) {
 		s.U[n] = 0.2 * (s.X[n] - 0.5) // expansion
 	}
 	s.GetQ(0, m.NEl)
-	for i, q := range s.QEdge {
-		if q != 0 {
-			t.Fatalf("expansion produced edge damper %d = %v", i, q)
+	cs := s.CornerStride()
+	for e := 0; e < m.NEl; e++ {
+		for k := 0; k < 4; k++ {
+			if q := s.QEdge[cs*e+k]; q != 0 {
+				t.Fatalf("expansion produced edge damper %d/%d = %v", e, k, q)
+			}
 		}
 	}
 }

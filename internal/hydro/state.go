@@ -36,9 +36,14 @@ func (e *ErrDtCollapse) Error() string {
 }
 
 // State holds the evolving hydrodynamic state on a (possibly local,
-// ghost-bearing) mesh. Storage is SoA: element arrays have length NEl,
-// node arrays NNd, corner arrays 4*NEl with corner k of element e at
-// index 4*e+k.
+// ghost-bearing) mesh. Element arrays have length NEl, node arrays
+// NNd. The corner arrays (FX/FY, CMass/QEdge) are indexed cs*e+k where
+// cs is the corner stride CornerStride(): 4 in the SoA layout (each
+// array dense and separate, the paper's layout), 8 in the default AoS
+// layout, where each pair shares one interleaved backing — FX and FY
+// are overlapping views offset by 4, so element e's record
+// FX[0..3]|FY[0..3] is one contiguous 64-byte cache line, and the same
+// for CMass|QEdge. Indexing is layout-uniform: FX[cs*e+k], FY[cs*e+k].
 type State struct {
 	Mesh *mesh.Mesh
 	Opt  Options
@@ -120,8 +125,22 @@ type State struct {
 	// the float64 arrays keep checkpoint/migration formats unchanged.
 	// qedge32 is rewritten by every GetQ before GetForce reads it;
 	// cmass32 must be refreshed whenever CMass mutates outside the step
-	// (see RefreshAux). Both nil unless the ablation is on.
+	// (see RefreshAux). Both nil unless the ablation is on. In the AoS
+	// layout they share one interleaved backing exactly like their
+	// float64 counterparts.
 	cmass32, qedge32 []float32
+
+	// cs is the corner stride: the distance in any corner array between
+	// element e's record and element e+1's. 4 for LayoutSoA (dense
+	// separate arrays), 8 for LayoutAoS (each array is a view of a
+	// shared interleaved backing and only uses 4 of every 8 slots).
+	cs int
+	// ndSlots mirrors Mesh.NdCorner with corner ids pre-converted to
+	// the layout's slot offsets: ndSlots[i] = (c>>2)*cs + (c&3) for
+	// c = Mesh.NdCorner[i]. The acceleration/energy node gathers index
+	// FX/FY (and band replicas) through this instead of re-deriving the
+	// slot per access. Identical to NdCorner when cs == 4.
+	ndSlots []int32
 }
 
 // NewState allocates a State over m with initial per-element density
@@ -153,20 +172,16 @@ func NewState(m *mesh.Mesh, opt Options, rho, ein []float64) (*State, error) {
 		U: make([]float64, nnd),
 		V: make([]float64, nnd),
 
-		Rho:   append([]float64(nil), rho...),
-		Ein:   append([]float64(nil), ein...),
-		P:     make([]float64, nel),
-		Q:     make([]float64, nel),
-		QEdge: make([]float64, 4*nel),
-		Csq:   make([]float64, nel),
-		Vol:   make([]float64, nel),
+		Rho: append([]float64(nil), rho...),
+		Ein: append([]float64(nil), ein...),
+		P:   make([]float64, nel),
+		Q:   make([]float64, nel),
+		Csq: make([]float64, nel),
+		Vol: make([]float64, nel),
 
 		Mass:   make([]float64, nel),
-		CMass:  make([]float64, 4*nel),
 		NdMass: make([]float64, nnd),
 
-		FX:   make([]float64, 4*nel),
-		FY:   make([]float64, 4*nel),
 		fxnd: make([]float64, nnd),
 		fynd: make([]float64, nnd),
 
@@ -180,6 +195,31 @@ func NewState(m *mesh.Mesh, opt Options, rho, ein []float64) (*State, error) {
 
 		DtPrev: opt.DtInitial,
 	}
+	// Corner arrays, per layout. SoA: four dense stride-4 slices. AoS:
+	// FX/FY are overlapping views (offset 4) of one interleaved stride-8
+	// backing, so FX[8e..8e+3]|FY[8e..8e+3] is one contiguous record;
+	// CMass/QEdge pair up the same way. The views alias, which is the
+	// point — and is harmless, since no kernel writes one member of a
+	// pair through the other's slots.
+	switch opt.Layout {
+	case LayoutSoA:
+		s.cs = 4
+		s.FX = make([]float64, 4*nel)
+		s.FY = make([]float64, 4*nel)
+		s.CMass = make([]float64, 4*nel)
+		s.QEdge = make([]float64, 4*nel)
+	default: // LayoutAoS
+		s.cs = 8
+		fxy := make([]float64, 8*nel)
+		aux := make([]float64, 8*nel)
+		s.FX, s.FY = fxy, fxy
+		s.CMass, s.QEdge = aux, aux
+		if nel > 0 {
+			s.FY = fxy[4:]
+			s.QEdge = aux[4:]
+		}
+	}
+	cs := s.cs
 
 	// Volumes, masses, sub-zonal corner masses.
 	var x, y [4]float64
@@ -194,15 +234,21 @@ func NewState(m *mesh.Mesh, opt Options, rho, ein []float64) (*State, error) {
 		s.Mass[e] = rho[e] * vol
 		geom.SubVolumes(&x, &y, &sv)
 		for k := 0; k < 4; k++ {
-			s.CMass[4*e+k] = rho[e] * sv[k]
+			s.CMass[cs*e+k] = rho[e] * sv[k]
 		}
 	}
 	// Nodal masses from corner masses over all local elements (ghost
 	// layers make these sums complete for owned nodes).
 	for e := 0; e < nel; e++ {
 		for k := 0; k < 4; k++ {
-			s.NdMass[m.ElNd[e][k]] += s.CMass[4*e+k]
+			s.NdMass[m.ElNd[e][k]] += s.CMass[cs*e+k]
 		}
+	}
+	// Layout-converted NdCorner: canonical corner id c = 4*e+k becomes
+	// slot cs*e+k.
+	s.ndSlots = make([]int32, len(m.NdCorner))
+	for i, c := range m.NdCorner {
+		s.ndSlots[i] = int32((c>>2)*cs + (c & 3))
 	}
 	// Facing-side table: for each adjacency entry, the neighbour's side
 	// that points back. Owned elements must have symmetric adjacency (a
@@ -225,8 +271,16 @@ func NewState(m *mesh.Mesh, opt Options, rho, ein []float64) (*State, error) {
 		}
 	}
 	if opt.Float32Aux {
-		s.cmass32 = make([]float32, 4*nel)
-		s.qedge32 = make([]float32, 4*nel)
+		if cs == 8 {
+			aux32 := make([]float32, 8*nel)
+			s.cmass32, s.qedge32 = aux32, aux32
+			if nel > 0 {
+				s.qedge32 = aux32[4:]
+			}
+		} else {
+			s.cmass32 = make([]float32, 4*nel)
+			s.qedge32 = make([]float32, 4*nel)
+		}
 	}
 	s.RefreshAux()
 	s.fuseTile = opt.FuseTile
@@ -250,6 +304,30 @@ func (s *State) RefreshAux() {
 	for i, v := range s.CMass {
 		s.cmass32[i] = float32(v)
 	}
+}
+
+// CornerStride returns the distance in the corner arrays (FX, FY,
+// CMass, QEdge) between consecutive elements' records: 4 in the SoA
+// layout, 8 in the AoS layout. Corner k of element e lives at
+// CornerStride()*e+k in every corner array regardless of layout.
+func (s *State) CornerStride() int { return s.cs }
+
+// NdSlots returns Mesh.NdCorner with each flat corner id converted to
+// the current layout's slot offset (identical to NdCorner at stride 4).
+// Callers gathering corner forces per node should index FX/FY through
+// this.
+func (s *State) NdSlots() []int32 { return s.ndSlots }
+
+// ForceHalo returns the corner-force arrays a ghost-element halo
+// exchange must transfer, with the per-element record width. SoA: the
+// FX and FY slices at 4 words each. AoS: the single interleaved
+// backing (the FX view spans it in full) at 8 words — one record
+// carries both components, so total traffic is identical.
+func (s *State) ForceHalo() (fields [][]float64, width int) {
+	if s.cs == 8 {
+		return [][]float64{s.FX}, 8
+	}
+	return [][]float64{s.FX, s.FY}, 4
 }
 
 // gatherCoords loads the current coordinates of element e's nodes.

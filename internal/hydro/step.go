@@ -326,7 +326,7 @@ func (s *State) pistonWork() float64 {
 			continue
 		}
 		var fx, fy float64
-		for _, ci := range m.NdCorner[m.NdElStart[n]:m.NdElStart[n+1]] {
+		for _, ci := range s.ndSlots[m.NdElStart[n]:m.NdElStart[n+1]] {
 			fx += s.FX[ci]
 			fy += s.FY[ci]
 		}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"math"
+	"sync"
+)
+
+// Calibrator refines PredictRun's absolute seconds online from
+// completed runs. The model's ordering between decks is structural
+// (monotone in elements and steps) but its absolute scale assumes a
+// generic serving host; a live daemon sees real wall clocks, so it
+// keeps an exponentially-weighted moving average of the measured/
+// modelled ratio — equivalently, of measured seconds per element-step
+// with the model as the unit — and scales subsequent estimates by it.
+//
+// Observations are untrusted in the same sense deck shapes are: a
+// wall clock distorted by a stalled worker or a preempted leg must not
+// poison admission control, so non-finite and non-positive inputs are
+// dropped and each observation's ratio is clamped to [1/64, 64] before
+// it enters the average.
+type Calibrator struct {
+	mu    sync.Mutex
+	alpha float64
+	scale float64
+	n     int
+}
+
+// ratio clamp per observation: an estimate 64x off in either direction
+// carries no more weight than one 64x off exactly.
+const calibClamp = 64.0
+
+// NewCalibrator returns a calibrator with the given EWMA weight in
+// (0, 1]; out-of-range values select 0.25 (a new observation moves the
+// scale a quarter of the way, converging within ~a dozen jobs without
+// letting one outlier dominate).
+func NewCalibrator(alpha float64) *Calibrator {
+	if !(alpha > 0) || alpha > 1 {
+		alpha = 0.25
+	}
+	return &Calibrator{alpha: alpha, scale: 1}
+}
+
+// Observe folds one completed run into the average: modelled is the
+// uncalibrated PredictRun seconds for the deck, measured the wall
+// seconds its legs actually took. Degenerate pairs are ignored.
+func (c *Calibrator) Observe(modelled, measured float64) {
+	if !(modelled > 0) || !(measured > 0) ||
+		math.IsInf(modelled, 1) || math.IsInf(measured, 1) {
+		return
+	}
+	r := measured / modelled
+	if r > calibClamp {
+		r = calibClamp
+	}
+	if r < 1/calibClamp {
+		r = 1 / calibClamp
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == 0 {
+		// Seed at the first measurement rather than decaying from 1:
+		// the prior scale carries no information.
+		c.scale = r
+	} else {
+		c.scale += c.alpha * (r - c.scale)
+	}
+	c.n++
+}
+
+// Scale returns the current measured/modelled ratio (1 until the first
+// observation).
+func (c *Calibrator) Scale() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scale
+}
+
+// Observations returns how many runs have been folded in.
+func (c *Calibrator) Observations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Apply rescales an estimate by the current ratio. NEl and Steps are
+// deck facts and stay put; only the seconds move.
+func (c *Calibrator) Apply(est Estimate) Estimate {
+	s := c.Scale()
+	est.StepSeconds *= s
+	est.Seconds *= s
+	return est
+}

@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCalibratorConvergence: a steady measured/modelled ratio pulls the
+// scale onto itself — the first observation seeds it, repeats converge
+// geometrically — and Apply rescales only the seconds.
+func TestCalibratorConvergence(t *testing.T) {
+	c := NewCalibrator(0.25)
+	if c.Scale() != 1 {
+		t.Fatalf("fresh scale %g, want 1", c.Scale())
+	}
+	const truth = 3.5
+	for i := 0; i < 40; i++ {
+		c.Observe(10, 10*truth)
+	}
+	if s := c.Scale(); math.Abs(s-truth) > 1e-9 {
+		t.Fatalf("scale %g after 40 steady observations, want %g", s, truth)
+	}
+	if c.Observations() != 40 {
+		t.Fatalf("observations %d, want 40", c.Observations())
+	}
+
+	est := Estimate{NEl: 100, Steps: 50, StepSeconds: 0.01, Seconds: 0.5}
+	got := c.Apply(est)
+	if got.NEl != 100 || got.Steps != 50 {
+		t.Fatalf("Apply moved deck facts: %+v", got)
+	}
+	if math.Abs(got.Seconds-0.5*truth) > 1e-9 || math.Abs(got.StepSeconds-0.01*truth) > 1e-9 {
+		t.Fatalf("Apply scaled to %+v, want x%g", got, truth)
+	}
+}
+
+// TestCalibratorTracksDrift: after converging on one ratio the average
+// must follow a sustained shift to a new one (the EWMA forgets).
+func TestCalibratorTracksDrift(t *testing.T) {
+	c := NewCalibrator(0.25)
+	for i := 0; i < 30; i++ {
+		c.Observe(1, 4)
+	}
+	for i := 0; i < 60; i++ {
+		c.Observe(1, 0.5)
+	}
+	if s := c.Scale(); math.Abs(s-0.5) > 1e-3 {
+		t.Fatalf("scale %g after drift, want ~0.5", s)
+	}
+}
+
+// TestCalibratorHostileObservations: degenerate wall clocks and
+// modelled costs must neither move the scale nor count, and a single
+// wild outlier is bounded by the per-observation clamp.
+func TestCalibratorHostileObservations(t *testing.T) {
+	c := NewCalibrator(0)
+	for _, pair := range [][2]float64{
+		{0, 1}, {1, 0}, {-1, 1}, {1, -1},
+		{math.NaN(), 1}, {1, math.NaN()},
+		{math.Inf(1), 1}, {1, math.Inf(1)},
+	} {
+		c.Observe(pair[0], pair[1])
+	}
+	if c.Observations() != 0 || c.Scale() != 1 {
+		t.Fatalf("hostile observations counted: n=%d scale=%g", c.Observations(), c.Scale())
+	}
+	c.Observe(1, 1e12)
+	if s := c.Scale(); s != calibClamp {
+		t.Fatalf("outlier scale %g, want clamp %g", s, calibClamp)
+	}
+	c2 := NewCalibrator(0.25)
+	c2.Observe(1e12, 1)
+	if s := c2.Scale(); s != 1/calibClamp {
+		t.Fatalf("inverse outlier scale %g, want %g", s, 1/calibClamp)
+	}
+}
+
+// TestCalibratorConcurrent: Observe and Scale race freely in the
+// daemon (legs complete while submissions price); run under -race this
+// is the regression test for the lock.
+func TestCalibratorConcurrent(t *testing.T) {
+	c := NewCalibrator(0.1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Observe(1, 2)
+				_ = c.Scale()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Scale(); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("scale %g after concurrent steady observations, want 2", s)
+	}
+	if c.Observations() != 2000 {
+		t.Fatalf("observations %d, want 2000", c.Observations())
+	}
+}

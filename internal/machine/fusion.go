@@ -131,6 +131,7 @@ func (f Fusion) FusedKernel() Kernel {
 			panic("machine: fusion " + f.Name + " merges kernels with different call counts")
 		}
 		serialOps += k.SerialFrac * k.Ops
+		merged.GatherBytes += k.GatherBytes
 		merged.GPUDerate = maxf(merged.GPUDerate, k.GPUDerate)
 		merged.CUDAExtra = maxf(merged.CUDAExtra, k.CUDAExtra)
 		merged.Arrays = maxf(merged.Arrays, k.Arrays)
@@ -141,6 +142,13 @@ func (f Fusion) FusedKernel() Kernel {
 		}
 	}
 	merged.SerialFrac = serialOps / ops
+	// The merge eliminates some repeated gathers along with the rest of
+	// SavedBytes, but the split is not tracked per fusion; summing the
+	// members keeps the locality-sensitive share conservative, clamped
+	// so it can never exceed the merged traffic.
+	if merged.GatherBytes > merged.Bytes {
+		merged.GatherBytes = merged.Bytes
+	}
 	return merged
 }
 

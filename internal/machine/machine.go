@@ -75,6 +75,12 @@ type Kernel struct {
 	// Ops is the per-element weighted arithmetic (sqrt ~ 15, div ~ 8);
 	// Bytes the effective off-chip traffic per element.
 	Ops, Bytes float64
+	// GatherBytes is the share of Bytes moved through indirect
+	// corner-node gathers/scatters (coordinates, velocities, nodal
+	// masses and forces indexed via ElNd) — the only share a mesh
+	// renumbering can change. See locality.go; 0 marks an
+	// element-local kernel.
+	GatherBytes float64
 	// CallsPerStep: predictor+corrector kernels run twice per step.
 	CallsPerStep float64
 	// SerialFrac is the fraction serialised under intra-rank
@@ -102,23 +108,29 @@ type Kernel struct {
 // implementation in internal/hydro. getq gathers two neighbour rings
 // and runs limiter/sqrt chains — the dominant CPU kernel (Table II:
 // 70% of flat-MPI Skylake, 64% of Broadwell).
+// GatherBytes shares: getq gathers coordinates and velocities over its
+// own and its neighbours' corners (two rings), getacc gathers corner
+// forces/masses around each node and scatters accelerations back,
+// getdt's reductions gather the corner coordinates and velocities,
+// getgeom and getein re-gather coordinates, getforce gathers the
+// corner ring once. getpc and getrho are element-local streams.
 var Kernels = []Kernel{
-	{Name: "getq", Ops: 1050, Bytes: 620, CallsPerStep: 2, SerialFrac: 0.0065,
+	{Name: "getq", Ops: 1050, Bytes: 620, GatherBytes: 360, CallsPerStep: 2, SerialFrac: 0.0065,
 		GPUDerate: 2.1, CUDAExtra: 1.27, Launches: 1, Arrays: 9},
-	{Name: "getacc", Ops: 60, Bytes: 271, CallsPerStep: 1, SerialFrac: 0.21,
+	{Name: "getacc", Ops: 60, Bytes: 271, GatherBytes: 160, CallsPerStep: 1, SerialFrac: 0.21,
 		GPUDerate: 13.7, CUDAExtra: 0.82, Launches: 2, Arrays: 7},
-	{Name: "getdt", Ops: 400, Bytes: 250, CallsPerStep: 1, SerialFrac: 0.185,
+	{Name: "getdt", Ops: 400, Bytes: 250, GatherBytes: 120, CallsPerStep: 1, SerialFrac: 0.185,
 		GPUDerate: 1.83, CUDAExtra: 1.0, HostOnlyCUDA: true,
 		TransferBytes: 60, HostOps: 15, Launches: 1, Arrays: 5},
-	{Name: "getgeom", Ops: 40, Bytes: 69, CallsPerStep: 2, SerialFrac: 0.505,
+	{Name: "getgeom", Ops: 40, Bytes: 69, GatherBytes: 40, CallsPerStep: 2, SerialFrac: 0.505,
 		GPUDerate: 16.8, CUDAExtra: 1.17, Launches: 2, Arrays: 6},
-	{Name: "getforce", Ops: 122, Bytes: 80, CallsPerStep: 2, SerialFrac: 0,
+	{Name: "getforce", Ops: 122, Bytes: 80, GatherBytes: 48, CallsPerStep: 2, SerialFrac: 0,
 		GPUDerate: 9.6, CUDAExtra: 1.0, CUDAAsync: true, Launches: 1, Arrays: 8},
 	{Name: "getpc", Ops: 20, Bytes: 26, CallsPerStep: 2, SerialFrac: 0.032,
 		GPUDerate: 2.6, CUDAExtra: 9.6, Launches: 1, Arrays: 4},
 	{Name: "getrho", Ops: 4, Bytes: 16, CallsPerStep: 2, SerialFrac: 0,
 		GPUDerate: 1.0, CUDAExtra: 1.0, Launches: 1, Arrays: 3},
-	{Name: "getein", Ops: 30, Bytes: 50, CallsPerStep: 2, SerialFrac: 0.03,
+	{Name: "getein", Ops: 30, Bytes: 50, GatherBytes: 24, CallsPerStep: 2, SerialFrac: 0.03,
 		GPUDerate: 1.2, CUDAExtra: 1.2, Launches: 1, Arrays: 6},
 }
 

@@ -212,6 +212,24 @@ func Split(global *mesh.Mesh, part []int, nparts int) ([]*SubMesh, error) {
 			subs[src].NdSend[r] = send
 		}
 	}
+	// When the global mesh is itself a renumbered view (GlobalEl
+	// non-nil — see internal/order), compose the maps so every local
+	// GlobalEl/GlobalNd carries the canonical generation id: everything
+	// that presents global data (checkpoint gather/scatter, dumps,
+	// result assembly) lands in canonical order without knowing a
+	// renumbering happened. The composition must run after the
+	// send-list wiring above, which keys on raw indices into global.
+	if global.GlobalEl != nil {
+		for r := 0; r < nparts; r++ {
+			lm := subs[r].M
+			for i, ge := range lm.GlobalEl {
+				lm.GlobalEl[i] = global.GlobalEl[ge]
+			}
+			for i, gn := range lm.GlobalNd {
+				lm.GlobalNd[i] = global.GlobalNd[gn]
+			}
+		}
+	}
 	for r := 0; r < nparts; r++ {
 		nb := make(map[int]bool)
 		for s := range subs[r].ElSend {

@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"bookleaf"
 	"bookleaf/internal/checkpoint"
@@ -72,6 +73,12 @@ type Options struct {
 	// running. The fuzz harness uses it to hammer the submission path
 	// without paying for hydrodynamics.
 	AdmitOnly bool
+	// CalibrateAlpha is the EWMA weight of the online cost calibrator:
+	// every completed job's measured wall seconds refine the
+	// machine-model estimates priced into subsequent admissions
+	// (0 = the machine.NewCalibrator default; negative disables
+	// calibration, freezing the scale at 1).
+	CalibrateAlpha float64
 }
 
 func (o Options) withDefaults() Options {
@@ -140,7 +147,12 @@ var ErrClosed = errors.New("serve: server closed")
 type Job struct {
 	ID       string
 	Priority int
-	Est      machine.Estimate
+	// Est is the admission estimate, calibrated by the measured wall
+	// clocks of previously completed jobs; modelSecs keeps the raw
+	// uncalibrated model seconds so each completion is observed
+	// against the model, not against its own calibration.
+	Est       machine.Estimate
+	modelSecs float64
 
 	seq int
 
@@ -153,6 +165,7 @@ type Job struct {
 	prevObs      *obs.Snapshot        // merged metrics of finished legs
 	lastStatus   bookleaf.RunStatus
 	preemptions  int
+	wallSeconds  float64 // measured run time summed over finished legs
 	preemptAsked bool
 	cancelAsked  bool
 	result       *bookleaf.Result
@@ -163,6 +176,7 @@ type Job struct {
 // Server is the scheduler.
 type Server struct {
 	opt Options
+	cal *machine.Calibrator
 
 	mu       sync.Mutex
 	wg       sync.WaitGroup
@@ -182,6 +196,9 @@ func New(opt Options) *Server {
 	s := &Server{
 		opt:  opt,
 		jobs: make(map[string]*Job),
+	}
+	if opt.CalibrateAlpha >= 0 {
+		s.cal = machine.NewCalibrator(opt.CalibrateAlpha)
 	}
 	for i := 0; i < opt.Workers; i++ {
 		p := par.New(opt.Threads)
@@ -226,6 +243,13 @@ func (s *Server) Submit(r io.Reader, priority int) (*Job, error) {
 		// degenerate estimate must never slip under the budget gate.
 		return nil, &BadDeckError{Reason: "cost prediction produced a degenerate estimate"}
 	}
+	modelSecs := est.Seconds
+	if s.cal != nil {
+		// Refine the model's absolute scale with what completed jobs
+		// actually measured; the calibrator clamps per observation, so
+		// the scaled estimate stays finite and positive.
+		est = s.cal.Apply(est)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -245,13 +269,14 @@ func (s *Server) Submit(r io.Reader, priority int) (*Job, error) {
 	}
 	s.seq++
 	j := &Job{
-		ID:       fmt.Sprintf("j%06d", s.seq),
-		Priority: priority,
-		Est:      est,
-		seq:      s.seq,
-		state:    StateQueued,
-		cfg:      cfg,
-		done:     make(chan struct{}),
+		ID:        fmt.Sprintf("j%06d", s.seq),
+		Priority:  priority,
+		Est:       est,
+		modelSecs: modelSecs,
+		seq:       s.seq,
+		state:     StateQueued,
+		cfg:       cfg,
+		done:      make(chan struct{}),
 	}
 	s.jobs[j.ID] = j
 	s.backlog += est.Seconds
@@ -425,6 +450,11 @@ type Stats struct {
 	Running       int     `json:"running"`
 	Backlog       float64 `json:"backlog_seconds"`
 	BudgetSeconds float64 `json:"budget_seconds"`
+	// CalibrationScale is the online cost calibrator's current
+	// measured/modelled ratio (1 until a job completes, or with
+	// calibration disabled); CalibrationN its observation count.
+	CalibrationScale float64 `json:"calibration_scale"`
+	CalibrationN     int     `json:"calibration_n"`
 }
 
 // Stats snapshots the scheduler.
@@ -437,11 +467,17 @@ func (s *Server) Stats() Stats {
 			running++
 		}
 	}
-	return Stats{
+	st := Stats{
 		Workers: s.opt.Workers, FreeWorkers: len(s.free),
 		Queued: len(s.queue), Running: running,
 		Backlog: s.backlog, BudgetSeconds: s.opt.BudgetSeconds,
+		CalibrationScale: 1,
 	}
+	if s.cal != nil {
+		st.CalibrationScale = s.cal.Scale()
+		st.CalibrationN = s.cal.Observations()
+	}
+	return st
 }
 
 // Close stops admissions, cancels everything in flight, waits for the
@@ -544,8 +580,9 @@ func (s *Server) startLocked(j *Job, pool *par.Pool) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		t0 := time.Now()
 		res, err := bookleaf.Run(cfg)
-		s.legDone(j, res, err)
+		s.legDone(j, res, err, time.Since(t0).Seconds())
 	}()
 }
 
@@ -553,7 +590,7 @@ func (s *Server) startLocked(j *Job, pool *par.Pool) {
 // first (slots are reclaimed before the terminal state is observable),
 // then the outcome routes to completion, requeue-with-snapshot, or a
 // terminal error.
-func (s *Server) legDone(j *Job, res *bookleaf.Result, err error) {
+func (s *Server) legDone(j *Job, res *bookleaf.Result, err error, wall float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j.pool != nil {
@@ -562,10 +599,18 @@ func (s *Server) legDone(j *Job, res *bookleaf.Result, err error) {
 	}
 	j.ctl = nil
 	j.preemptAsked = false
+	j.wallSeconds += wall
 
 	var pe *bookleaf.PreemptedError
 	switch {
 	case err == nil:
+		if s.cal != nil {
+			// Only completed jobs calibrate: the legs' summed wall
+			// clock is the measured cost of exactly the work the
+			// admission estimate priced. Failed and canceled runs
+			// stopped at an unknown fraction of it.
+			s.cal.Observe(j.modelSecs, j.wallSeconds)
+		}
 		if j.prevObs != nil && res.Obs != nil {
 			j.prevObs.Merge(res.Obs)
 			res.Obs = j.prevObs

@@ -208,3 +208,59 @@ func TestClosedServerRejects(t *testing.T) {
 		t.Fatalf("closed server accepted a job (err=%v)", err)
 	}
 }
+
+// TestCalibrationRefinesEstimates: a completed job's measured wall
+// seconds feed the online calibrator, and the next submission of the
+// same deck is priced at the raw model estimate times the learned
+// scale. Disabling calibration pins the scale at 1.
+func TestCalibrationRefinesEstimates(t *testing.T) {
+	deck := "[control]\nproblem = sod\nnx = 24\nny = 4\nmaxsteps = 5\n"
+	raw := machine.PredictRun(machine.RunShape{
+		Problem: "sod", NX: 24, NY: 4, MaxSteps: 5, Threads: 1,
+	})
+
+	s := New(Options{Workers: 1, Threads: 1, BudgetSeconds: 1e9})
+	defer s.Close()
+	if st := s.Stats(); st.CalibrationScale != 1 || st.CalibrationN != 0 {
+		t.Fatalf("fresh server calibration %+v, want scale 1, n 0", st)
+	}
+	j1, err := s.Submit(strings.NewReader(deck), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Est.Seconds != raw.Seconds {
+		t.Fatalf("uncalibrated estimate %g, want model %g", j1.Est.Seconds, raw.Seconds)
+	}
+	j1.Wait()
+	st := s.Stats()
+	if st.CalibrationN != 1 {
+		t.Fatalf("calibration observations %d after one completion, want 1", st.CalibrationN)
+	}
+	if !(st.CalibrationScale > 0) || math.IsInf(st.CalibrationScale, 0) {
+		t.Fatalf("degenerate calibration scale %g", st.CalibrationScale)
+	}
+	j2, err := s.Submit(strings.NewReader(deck), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := raw.Seconds * st.CalibrationScale
+	if math.Abs(j2.Est.Seconds-want)/want > 1e-9 {
+		t.Fatalf("calibrated estimate %g, want model %g x scale %g = %g",
+			j2.Est.Seconds, raw.Seconds, st.CalibrationScale, want)
+	}
+	j2.Wait()
+
+	off := New(Options{Workers: 1, Threads: 1, BudgetSeconds: 1e9, CalibrateAlpha: -1})
+	defer off.Close()
+	jo, err := off.Submit(strings.NewReader(deck), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo.Wait()
+	if st := off.Stats(); st.CalibrationScale != 1 || st.CalibrationN != 0 {
+		t.Fatalf("disabled calibration moved: %+v", st)
+	}
+	if jo.Est.Seconds != raw.Seconds {
+		t.Fatalf("disabled calibration scaled the estimate: %g vs %g", jo.Est.Seconds, raw.Seconds)
+	}
+}

@@ -35,9 +35,22 @@ type Problem struct {
 }
 
 // NewState instantiates a hydro state for the problem on its mesh
-// (serial use; parallel drivers restrict the fields per rank).
+// (serial use; parallel drivers restrict the fields per rank). Rho and
+// Ein are kept in canonical generation order; when the mesh has been
+// renumbered for locality (Mesh.GlobalEl non-nil, see internal/order)
+// the fields restrict through the carried permutation, exactly as the
+// parallel drivers restrict them per rank.
 func (p *Problem) NewState() (*hydro.State, error) {
-	s, err := hydro.NewState(p.Mesh, p.Opt, p.Rho, p.Ein)
+	rho, ein := p.Rho, p.Ein
+	if p.Mesh.GlobalEl != nil {
+		rho = make([]float64, p.Mesh.NEl)
+		ein = make([]float64, p.Mesh.NEl)
+		for i, ge := range p.Mesh.GlobalEl {
+			rho[i] = p.Rho[ge]
+			ein[i] = p.Ein[ge]
+		}
+	}
+	s, err := hydro.NewState(p.Mesh, p.Opt, rho, ein)
 	if err != nil {
 		return nil, err
 	}

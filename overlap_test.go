@@ -241,7 +241,8 @@ func startStepCluster(tb testing.TB, problem string, nx, ny, nranks int, overlap
 				},
 			}
 			if overlap {
-				peF := rk.NewExchange(elHalo, 4, 2)
+				ffS, fwS := s.ForceHalo()
+				peF := rk.NewExchange(elHalo, fwS, len(ffS))
 				peV := rk.NewExchange(ndHalo, 1, 4)
 				var pendF, pendV bool
 				hooks.Band = lm.BoundaryBand()
@@ -249,7 +250,8 @@ func startStepCluster(tb testing.TB, problem string, nx, ny, nranks int, overlap
 					if commErr != nil {
 						return
 					}
-					if err := peF.Start(st.FX, st.FY); err != nil {
+					ff, _ := st.ForceHalo()
+					if err := peF.Start(ff...); err != nil {
 						commErr = err
 					} else {
 						pendF = true
@@ -288,7 +290,8 @@ func startStepCluster(tb testing.TB, problem string, nx, ny, nranks int, overlap
 					if commErr != nil {
 						return
 					}
-					if err := rk.Exchange(elHalo, 4, st.FX, st.FY); err != nil {
+					ff, fw := st.ForceHalo()
+					if err := rk.Exchange(elHalo, fw, ff...); err != nil {
 						commErr = err
 					}
 				}

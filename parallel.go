@@ -10,7 +10,9 @@ import (
 	"bookleaf/internal/ale"
 	"bookleaf/internal/checkpoint"
 	"bookleaf/internal/hydro"
+	"bookleaf/internal/mesh"
 	"bookleaf/internal/obs"
+	"bookleaf/internal/order"
 	"bookleaf/internal/par"
 	"bookleaf/internal/partition"
 	"bookleaf/internal/setup"
@@ -96,7 +98,12 @@ type parRun struct {
 	cfg  Config
 	pol  supervise.Policy
 	prob *setup.Problem
-	tEnd float64
+	// canon is the canonical generation-order mesh, kept when the
+	// problem mesh has been renumbered for locality (prob.Mesh is then
+	// the reordered view); results present on this mesh. Equal to
+	// prob.Mesh when no reordering is active.
+	canon *mesh.Mesh
+	tEnd  float64
 
 	gsnap *checkpoint.Snapshot
 	// ctlSnap receives the collective in-memory gather when an attached
@@ -167,6 +174,17 @@ func runParallel(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.applyOverrides(&p.Opt)
+	canon := p.Mesh
+	if kind, _ := order.Parse(cfg.Reorder); kind != order.None {
+		// Renumber the global mesh for locality before partitioning;
+		// every sub-mesh then composes the permutation into its
+		// GlobalEl/GlobalNd maps, so checkpoints and results stay in
+		// canonical generation order. Repartitions re-split the same
+		// reordered mesh, so the locality order survives them.
+		if p.Mesh, err = order.Reorder(p.Mesh, kind); err != nil {
+			return nil, fmt.Errorf("bookleaf: %w", err)
+		}
+	}
 
 	var part []int
 	switch cfg.Partitioner {
@@ -198,7 +216,7 @@ func runParallel(cfg Config) (*Result, error) {
 	}
 
 	pr := &parRun{
-		cfg: cfg, pol: pol, prob: p, tEnd: tEnd,
+		cfg: cfg, pol: pol, prob: p, canon: canon, tEnd: tEnd,
 		start:   time.Now(),
 		tracers: make(map[int]*obs.Tracer),
 		probes:  make(map[int]*obs.InvariantProbe),
@@ -541,8 +559,9 @@ func (pr *parRun) doRepart() error {
 	gq := make([]float64, 4*p.Mesh.NEl)
 	for _, sl := range pr.slots {
 		lm := sl.sub.M
+		cs := sl.s.CornerStride()
 		for i := 0; i < lm.NOwnEl; i++ {
-			copy(gq[4*lm.GlobalEl[i]:], sl.s.QEdge[4*i:4*i+4])
+			copy(gq[4*lm.GlobalEl[i]:4*lm.GlobalEl[i]+4], sl.s.QEdge[cs*i:cs*i+4])
 		}
 	}
 
@@ -576,6 +595,12 @@ func (pr *parRun) doRepart() error {
 			var sx, sy float64
 			for k := 0; k < 4; k++ {
 				nd := p.Mesh.ElNd[e][k]
+				// world is gathered in canonical generation order; on
+				// a reordered global mesh the node id must map through
+				// GlobalNd to find its snapshot slot.
+				if p.Mesh.GlobalNd != nil {
+					nd = p.Mesh.GlobalNd[nd]
+				}
 				sx += world.X[nd]
 				sy += world.Y[nd]
 			}
@@ -613,8 +638,9 @@ func (pr *parRun) doRepart() error {
 			sl.s.ExternalWork, sl.s.FloorEnergy = 0, 0
 		}
 		lm := sl.sub.M
+		cs := sl.s.CornerStride()
 		for j := 0; j < lm.NEl; j++ { // owned and ghost alike
-			copy(sl.s.QEdge[4*j:4*j+4], gq[4*lm.GlobalEl[j]:])
+			copy(sl.s.QEdge[cs*j:cs*j+4], gq[4*lm.GlobalEl[j]:4*lm.GlobalEl[j]+4])
 		}
 		sl.dtCap = tmpl.dtCap
 		sl.budget = tmpl.budget
@@ -840,7 +866,8 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 		},
 		ExchangeForces: func(st *hydro.State) {
 			hooksDone++
-			exch(forcesPh, elHalo, 4, st.FX, st.FY)
+			ff, fw := st.ForceHalo()
+			exch(forcesPh, elHalo, fw, ff...)
 		},
 		ExchangeVelocities: func(st *hydro.State) {
 			hooksDone++
@@ -855,7 +882,8 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 		// so the compensation protocol below is unchanged. A Start
 		// that fails leaves nothing pending; its Finish no-ops.
 		ctrOverlap := reg.Counter("halo_overlap_ns")
-		peF := rk.NewExchange(elHalo, 4, 2)
+		ffS, fwS := s.ForceHalo()
+		peF := rk.NewExchange(elHalo, fwS, len(ffS))
 		peV := rk.NewExchange(ndHalo, 1, 4)
 		var pendF, pendV bool
 		var startF, startV time.Time
@@ -891,7 +919,8 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 		hooks.Band = lm.BoundaryBand()
 		hooks.StartForces = func(st *hydro.State) {
 			hooksDone++
-			startEx(forcesPh, peF, &pendF, &startF, st.FX, st.FY)
+			ff, _ := st.ForceHalo()
+			startEx(forcesPh, peF, &pendF, &startF, ff...)
 		}
 		hooks.FinishForces = func(st *hydro.State) {
 			finishEx(peF, &pendF, &startF)
@@ -1238,7 +1267,8 @@ func (pr *parRun) rankBody(rk *typhon.Rank) {
 			// Compensate the exchanges peers will still perform
 			// this step, keeping the schedule deadlock-free.
 			if hooksDone < 1 {
-				exch(forcesPh, elHalo, 4, s.FX, s.FY)
+				ff, fw := s.ForceHalo()
+				exch(forcesPh, elHalo, fw, ff...)
 			}
 			if hooksDone < 2 {
 				exch(velPh, ndHalo, 1, s.U, s.V, s.UBar, s.VBar)
@@ -1315,7 +1345,9 @@ func (pr *parRun) finalize() (*Result, error) {
 	res := &Result{
 		Problem: p.Name, Ranks: cfg.Ranks, FinalRanks: len(pr.slots), Threads: cfg.Threads,
 		NEl: p.Mesh.NEl, NNd: p.Mesh.NNd,
-		Mesh: p.Mesh, TEnd: pr.tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
+		// Fields gather through the canonical GlobalEl/GlobalNd maps,
+		// so the mesh they present on is the canonical one.
+		Mesh: pr.canon, TEnd: pr.tEnd, Gamma: p.Gamma, SedovEnergy: p.SedovEnergy,
 		Rho: make([]float64, p.Mesh.NEl),
 		Ein: make([]float64, p.Mesh.NEl),
 		P:   make([]float64, p.Mesh.NEl),
