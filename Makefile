@@ -44,6 +44,12 @@
 # priority preemption with bitwise-identical resume (serial and
 # ranks=2 decks), admission-control boundary arithmetic and the
 # streaming metrics endpoint.
+# tier2-durable races the durability layer: the restart-recovery
+# matrix (crash mid-run after a periodic spill, crash with queued
+# work, graceful-shutdown park — serial and ranks=2, all bitwise
+# against uninterrupted runs), calibration and terminal-state
+# persistence, journal-corruption recovery, per-client quota 429s and
+# fair queue ordering.
 # tier2-race runs the FULL tier-1 suite under the race detector at a
 # starved and an oversubscribed scheduler — the whole-program
 # complement to tier2-fault's targeted matrix, catching races in code
@@ -66,7 +72,7 @@ GO ?= go
 FUZZTIME ?= 30s
 THRESHOLD ?= 0.10
 
-.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-order tier2-serve tier2-race test bench bench-all bench-compare fuzz clean
+.PHONY: all build vet tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-order tier2-serve tier2-durable tier2-race test bench bench-all bench-compare fuzz clean
 
 all: build
 
@@ -114,19 +120,26 @@ tier2-order:
 tier2-serve:
 	$(GO) test -race ./internal/serve -count=1
 
+tier2-durable:
+	$(GO) test -race ./internal/serve -run 'Durable|Quota|FairOrdering|BadClient|TerminalJobPins|WatchHostile|DoneStatus|CalibratorStateRestore' -count=1
+	$(GO) test -race ./internal/machine -run 'Calibrator' -count=1
+
 tier2-race:
 	GOMAXPROCS=1 $(GO) test -race ./... -count=1
 	GOMAXPROCS=8 $(GO) test -race ./... -count=1
 
-test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-order tier2-serve tier2-race
+test: tier1 tier2-fault tier2-par tier2-overlap tier2-ale tier2-supervise tier2-fuse tier2-order tier2-serve tier2-durable tier2-race
 
 # Native fuzzing: the deck parser (seed corpus: decks/ plus the
-# regression inputs under internal/config/testdata/fuzz) and the
+# regression inputs under internal/config/testdata/fuzz), the
 # bleaf-served HTTP submission path (AdmitOnly server, so the fuzzer
-# explores the parse/predict/admit surface without running hydro).
+# explores the parse/predict/admit surface — headers included —
+# without running hydro), and durable-journal replay (arbitrary bytes
+# as the on-disk journal: recover what parses, never panic).
 fuzz:
 	$(GO) test -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/config
 	$(GO) test -fuzz=FuzzSubmitDeck -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/serve
 
 # The step-path benchmarks, 5 repetitions each, aggregated into
 # BENCH_step.json (min ns/op, max allocs/op per name). -merge keeps

@@ -20,7 +20,19 @@
 // Admission control: every deck's cost is predicted from its stated
 // dimensions (internal/machine); when the predicted backlog would
 // exceed -budget seconds the submission is rejected with 429 and a
-// Retry-After estimating the drain time.
+// Retry-After estimating the drain time. Clients identify themselves
+// with "X-Client: alice" (default "anon"); one client's backlog is
+// further capped at -client-budget seconds — past it the 429 carries
+// code client_over_quota instead of overloaded, and other clients'
+// decks still admit.
+//
+// Durability: with -state-dir the daemon journals every submission and
+// outcome to an fsynced NDJSON log in that directory, spills preemption
+// checkpoints next to it (plus a periodic spill of long legs every
+// -spill-every, and a final spill on graceful shutdown), and on restart
+// replays it all — queued decks re-admit, interrupted jobs resume
+// bitwise from their last spill, and the learned calibration scale
+// survives the bounce.
 package main
 
 import (
@@ -56,22 +68,40 @@ func run() error {
 		maxThr   = flag.Int("max-threads", 0, "largest deck-declared thread count admitted (0 = default)")
 		maxEl    = flag.Int("max-elements", 0, "largest deck mesh (nx*ny) admitted (0 = default)")
 		maxTerm  = flag.Int("max-terminal-jobs", 0, "finished jobs retained for GET before eviction (0 = default)")
+		stateDir = flag.String("state-dir", "", "durable state directory: journal + checkpoint spills; empty = in-memory")
+		spill    = flag.Duration("spill-every", 0, "periodic checkpoint spill cadence for long-running legs (0 = 60s; requires -state-dir)")
+		clientB  = flag.Float64("client-budget", 0, "per-client backlog quota in predicted seconds (0 = half of -budget; negative disables)")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Options{
+	quota := *clientB
+	if quota == 0 {
+		quota = *budget / 2
+	} else if quota < 0 {
+		quota = 0
+	}
+	srv, err := serve.Open(serve.Options{
 		Workers: *workers, Threads: *threads,
 		BudgetSeconds: *budget, MaxDeckBytes: *maxDeck,
 		SnapshotEvery: *snapshot,
 		MaxRanks:      *maxRanks, MaxThreads: *maxThr,
 		MaxElements: *maxEl, MaxTerminalJobs: *maxTerm,
+		StateDir: *stateDir, SpillInterval: *spill,
+		ClientBudgetSeconds: quota,
 	})
+	if err != nil {
+		return err
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("bleaf-served: listening on %s (%d worker(s) x %d thread(s), budget %.0fs)\n",
-		*addr, *workers, *threads, *budget)
+	durable := "in-memory"
+	if *stateDir != "" {
+		durable = "state-dir " + *stateDir
+	}
+	fmt.Printf("bleaf-served: listening on %s (%d worker(s) x %d thread(s), budget %.0fs, %s)\n",
+		*addr, *workers, *threads, *budget, durable)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -82,6 +82,38 @@ func (c *Calibrator) Observations() int {
 	return c.n
 }
 
+// State snapshots the calibrator for persistence: the current scale
+// and the observation count it was learned from, read atomically so a
+// concurrent Observe cannot tear the pair.
+func (c *Calibrator) State() (scale float64, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scale, c.n
+}
+
+// Restore reinstates a persisted State, the restart path of a durable
+// serving daemon. Restored values are as untrusted as observations: a
+// non-finite or non-positive scale, or a non-positive count, is
+// dropped (the calibrator keeps its current state), and an in-range
+// count with an out-of-range scale clamps to the same [1/64, 64]
+// envelope every legitimately-learned scale lives in — a corrupt
+// journal must not poison admission control.
+func (c *Calibrator) Restore(scale float64, n int) {
+	if !(scale > 0) || math.IsInf(scale, 1) || n <= 0 {
+		return
+	}
+	if scale > calibClamp {
+		scale = calibClamp
+	}
+	if scale < 1/calibClamp {
+		scale = 1 / calibClamp
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scale = scale
+	c.n = n
+}
+
 // Apply rescales an estimate by the current ratio. NEl and Steps are
 // deck facts and stay put; only the seconds move.
 func (c *Calibrator) Apply(est Estimate) Estimate {

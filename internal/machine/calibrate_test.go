@@ -76,6 +76,56 @@ func TestCalibratorHostileObservations(t *testing.T) {
 	}
 }
 
+// TestCalibratorStateRestore: State/Restore round-trips the learned
+// scale exactly (the restart path of a durable daemon), hostile
+// restored values are dropped, and an out-of-envelope scale clamps to
+// the same [1/64, 64] range every legitimately-learned scale lives in.
+func TestCalibratorStateRestore(t *testing.T) {
+	c := NewCalibrator(0.25)
+	c.Observe(10, 23)
+	c.Observe(10, 31)
+	scale, n := c.State()
+	if n != 2 || scale != c.Scale() {
+		t.Fatalf("State() = (%g, %d), want (%g, 2)", scale, n, c.Scale())
+	}
+
+	fresh := NewCalibrator(0.25)
+	fresh.Restore(scale, n)
+	if s, m := fresh.State(); s != scale || m != n {
+		t.Fatalf("restored state (%g, %d), want exact (%g, %d)", s, m, scale, n)
+	}
+	// A restored calibrator keeps learning from where it left off.
+	fresh.Observe(10, 23)
+	if fresh.Observations() != n+1 {
+		t.Fatalf("observations %d after restore+observe, want %d", fresh.Observations(), n+1)
+	}
+
+	for _, bad := range []struct {
+		scale float64
+		n     int
+	}{
+		{0, 5}, {-1, 5}, {math.NaN(), 5}, {math.Inf(1), 5},
+		{2, 0}, {2, -3},
+	} {
+		d := NewCalibrator(0.25)
+		d.Restore(bad.scale, bad.n)
+		if s, m := d.State(); s != 1 || m != 0 {
+			t.Fatalf("hostile Restore(%g, %d) accepted: state (%g, %d)", bad.scale, bad.n, s, m)
+		}
+	}
+
+	hi := NewCalibrator(0.25)
+	hi.Restore(1e12, 7)
+	if s, _ := hi.State(); s != calibClamp {
+		t.Fatalf("oversized restored scale %g, want clamp %g", s, calibClamp)
+	}
+	lo := NewCalibrator(0.25)
+	lo.Restore(1e-12, 7)
+	if s, _ := lo.State(); s != 1/calibClamp {
+		t.Fatalf("undersized restored scale %g, want clamp %g", s, 1/calibClamp)
+	}
+}
+
 // TestCalibratorConcurrent: Observe and Scale race freely in the
 // daemon (legs complete while submissions price); run under -race this
 // is the regression test for the lock.

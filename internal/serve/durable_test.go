@@ -1,0 +1,636 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bookleaf"
+	"bookleaf/internal/machine"
+)
+
+// Restart-recovery battery for the durable server. The crash is
+// simulated by cloning the state directory while the first server is
+// live — the clone is taken under the scheduler mutex, which every
+// journal append and snapshot spill also holds, so it is exactly the
+// on-disk state an abrupt kill at that instant would leave — and then
+// opening a second server over the clone. The load-bearing assertion
+// is the same one the preemption tests make: a recovered run must be
+// bitwise identical to an uninterrupted run of the same deck.
+
+// cloneStateDir copies dir's files into a fresh temp dir under s.mu,
+// freezing a crash-consistent image of the journal and spills.
+func cloneStateDir(t *testing.T, s *Server, dir string) string {
+	t.Helper()
+	clone := t.TempDir()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(clone, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return clone
+}
+
+func assertResultBitwise(t *testing.T, got, want *bookleaf.Result) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("no result")
+	}
+	if got.Steps != want.Steps || got.Time != want.Time {
+		t.Fatalf("clock differs: recovered %d/%v, direct %d/%v",
+			got.Steps, got.Time, want.Steps, want.Time)
+	}
+	if got.E0 != want.E0 || got.EFinal != want.EFinal ||
+		got.ExternalWork != want.ExternalWork ||
+		got.Mass0 != want.Mass0 || got.MassFinal != want.MassFinal {
+		t.Fatalf("audit scalars differ: EFinal %v vs %v", got.EFinal, want.EFinal)
+	}
+	fields := []struct {
+		name     string
+		got, ref []float64
+	}{
+		{"x", got.X, want.X}, {"y", got.Y, want.Y},
+		{"rho", got.Rho, want.Rho}, {"p", got.P, want.P},
+		{"ein", got.Ein, want.Ein}, {"u", got.U, want.U}, {"v", got.V, want.V},
+	}
+	for _, f := range fields {
+		if len(f.got) != len(f.ref) {
+			t.Fatalf("field %s: length %d vs %d", f.name, len(f.got), len(f.ref))
+		}
+		for i := range f.got {
+			if f.got[i] != f.ref[i] {
+				t.Fatalf("field %s[%d]: recovered %v != direct %v (bitwise)",
+					f.name, i, f.got[i], f.ref[i])
+			}
+		}
+	}
+	for _, name := range deterministicCounters {
+		if got.Obs == nil || want.Obs == nil {
+			t.Fatal("missing obs snapshot")
+		}
+		if g, r := got.Obs.Counters[name], want.Obs.Counters[name]; g != r {
+			t.Fatalf("counter %s = %d, direct run %d (legs merged wrong?)", name, g, r)
+		}
+	}
+}
+
+// waitProgress polls until the job is running and past minStep.
+func waitProgress(t *testing.T, s *Server, j *Job, minStep int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := s.Status(j)
+		if st.State == StateRunning && st.Step >= minStep {
+			return
+		}
+		if st.State == StateDone || st.State == StateFailed || st.State == StateCanceled {
+			t.Fatalf("job reached %q before making progress", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDurableCrashMidRunResumesBitwise is the acceptance core: a
+// daemon crashes while a job runs (after at least one periodic spill),
+// a fresh daemon opens the same state dir, and the job completes from
+// its last spilled snapshot with a result — field arrays and merged
+// obs counters — bitwise identical to an uninterrupted run. Both the
+// serial and the ranks=2 (partition-independent snapshot) paths.
+func TestDurableCrashMidRunResumesBitwise(t *testing.T) {
+	for _, tc := range []struct {
+		name, deck string
+	}{
+		{"serial", "[control]\nproblem = sod\nnx = 400\nny = 4\ntend = 0.25\n"},
+		{"ranks2", "[control]\nproblem = sod\nnx = 400\nny = 4\ntend = 0.25\nranks = 2\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := directRun(t, tc.deck)
+			dir := t.TempDir()
+			s, err := Open(Options{
+				Workers: 1, Threads: 1, StateDir: dir,
+				SpillInterval: 25 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := s.Submit(strings.NewReader(tc.deck), 0, "alice")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Wait for the periodic spill to have parked-and-resumed the
+			// job at least once: the clone must carry a mid-run snapshot.
+			deadline := time.Now().Add(60 * time.Second)
+			for s.Status(j).Preemptions < 1 {
+				if st := s.Status(j); st.State == StateDone {
+					t.Skip("machine too fast: job finished before the first spill")
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("no spill happened: %+v", s.Status(j))
+				}
+				time.Sleep(time.Millisecond)
+			}
+			clone := cloneStateDir(t, s, dir)
+			s.Close() // the first daemon is dead to us; release its pools
+
+			s2, err := Open(Options{
+				Workers: 1, Threads: 1, StateDir: clone, SpillInterval: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			j2, ok := s2.Get(j.ID)
+			if !ok {
+				t.Fatalf("job %s lost across the crash", j.ID)
+			}
+			if j2.Client != "alice" {
+				t.Fatalf("client %q lost across the crash", j2.Client)
+			}
+			j2.Wait()
+			if st := s2.Status(j2); st.State != StateDone {
+				t.Fatalf("recovered job ended %q (%s)", st.State, st.Error)
+			} else if st.Preemptions < 1 {
+				t.Fatalf("recovered job reports %d preemptions, expected the spill to count", st.Preemptions)
+			}
+			assertResultBitwise(t, s2.Result(j2), want)
+		})
+	}
+}
+
+// TestDurableRestartQueuedJobs: a crash with one job running (no spill
+// yet) and two queued. All three must survive into the new daemon and
+// complete bitwise — the running one restarted from scratch, the
+// queued ones in their journaled order.
+func TestDurableRestartQueuedJobs(t *testing.T) {
+	decks := []string{
+		"[control]\nproblem = sod\nnx = 400\nny = 4\ntend = 0.25\n",
+		"[control]\nproblem = sod\nnx = 60\nny = 4\nmaxsteps = 40\n",
+		"[control]\nproblem = sod\nnx = 60\nny = 4\nmaxsteps = 50\n",
+	}
+	want := make([]*bookleaf.Result, len(decks))
+	for i, d := range decks {
+		want[i] = directRun(t, d)
+	}
+	dir := t.TempDir()
+	s, err := Open(Options{Workers: 1, Threads: 1, StateDir: dir, SpillInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]*Job, len(decks))
+	for i, d := range decks {
+		if jobs[i], err = s.Submit(strings.NewReader(d), 0, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Status(jobs[2]); st.State != StateQueued {
+		t.Fatalf("third job is %q, wanted a queued crash victim", st.State)
+	}
+	clone := cloneStateDir(t, s, dir)
+	s.Close()
+
+	s2, err := Open(Options{Workers: 1, Threads: 1, StateDir: clone, SpillInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, j := range jobs {
+		j2, ok := s2.Get(j.ID)
+		if !ok {
+			t.Fatalf("job %d (%s) lost across the crash", i, j.ID)
+		}
+		j2.Wait()
+		if st := s2.Status(j2); st.State != StateDone {
+			t.Fatalf("job %d ended %q (%s)", i, st.State, st.Error)
+		}
+		assertResultBitwise(t, s2.Result(j2), want[i])
+	}
+}
+
+// TestDurableGracefulShutdownParks: Close on a durable server is a
+// park, not a massacre — the running job is preempted and spilled, the
+// queued job stays journaled, and the next Open resumes both to
+// bitwise-correct completion.
+func TestDurableGracefulShutdownParks(t *testing.T) {
+	runDeck := "[control]\nproblem = sod\nnx = 400\nny = 4\ntend = 0.25\n"
+	queueDeck := "[control]\nproblem = sod\nnx = 60\nny = 4\nmaxsteps = 40\n"
+	wantRun := directRun(t, runDeck)
+	wantQueue := directRun(t, queueDeck)
+
+	dir := t.TempDir()
+	s, err := Open(Options{Workers: 1, Threads: 1, StateDir: dir, SpillInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(strings.NewReader(runDeck), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Submit(strings.NewReader(queueDeck), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitProgress(t, s, j, 10)
+	s.Close()
+	// The park is observable: the job is still live (queued, not
+	// canceled) and its snapshot sits on disk.
+	if st := s.Status(j); st.State != StateQueued {
+		t.Fatalf("running job ended %q on durable Close, want parked (queued)", st.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, j.ID+snapSuffix)); err != nil {
+		t.Fatalf("no spilled snapshot after graceful shutdown: %v", err)
+	}
+
+	s2, err := Open(Options{Workers: 1, Threads: 1, StateDir: dir, SpillInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, tc := range []struct {
+		id   string
+		want *bookleaf.Result
+	}{{j.ID, wantRun}, {q.ID, wantQueue}} {
+		j2, ok := s2.Get(tc.id)
+		if !ok {
+			t.Fatalf("job %s lost across graceful restart", tc.id)
+		}
+		j2.Wait()
+		if st := s2.Status(j2); st.State != StateDone {
+			t.Fatalf("job %s ended %q (%s)", tc.id, st.State, st.Error)
+		}
+		assertResultBitwise(t, s2.Result(j2), tc.want)
+	}
+	if st := s2.Status(mustGet(t, s2, j.ID)); st.Preemptions < 1 {
+		t.Fatalf("parked job reports %d preemptions", st.Preemptions)
+	}
+}
+
+func mustGet(t *testing.T, s *Server, id string) *Job {
+	t.Helper()
+	j, ok := s.Get(id)
+	if !ok {
+		t.Fatalf("job %s missing", id)
+	}
+	return j
+}
+
+// TestDurableCalibrationAndTerminalSurviveRestart: the calibrator's
+// learned scale and the terminal record of finished jobs both outlive
+// the daemon. Result field arrays deliberately do not (their snapshot
+// files are deleted at terminal state) — the status document is the
+// durable artifact.
+func TestDurableCalibrationAndTerminalSurviveRestart(t *testing.T) {
+	deck := "[control]\nproblem = sod\nnx = 40\nny = 4\nmaxsteps = 10\n"
+	dir := t.TempDir()
+	s, err := Open(Options{Workers: 1, Threads: 1, StateDir: dir, SpillInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(strings.NewReader(deck), 0, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	st0 := s.Stats()
+	if st0.CalibrationN != 1 || !(st0.CalibrationScale > 0) {
+		t.Fatalf("no calibration after completion: %+v", st0)
+	}
+	s.Close()
+
+	s2, err := Open(Options{Workers: 1, Threads: 1, StateDir: dir, SpillInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st1 := s2.Stats()
+	if st1.CalibrationScale != st0.CalibrationScale || st1.CalibrationN != st0.CalibrationN {
+		t.Fatalf("calibration did not survive the restart: %+v vs %+v", st1, st0)
+	}
+	j2, ok := s2.Get(j.ID)
+	if !ok {
+		t.Fatal("terminal job evicted by the restart")
+	}
+	st := s2.Status(j2)
+	if st.State != StateDone || st.Client != "carol" || st.Error != "" {
+		t.Fatalf("terminal job recovered wrong: %+v", st)
+	}
+	if s2.Result(j2) != nil {
+		t.Fatal("result arrays are documented not to survive a restart")
+	}
+	// And the next submission is priced with the restored scale.
+	raw := machine.PredictRun(machine.RunShape{
+		Problem: "sod", NX: 40, NY: 4, MaxSteps: 10, Threads: 1,
+	})
+	j3, err := s2.Submit(strings.NewReader(deck), 0, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := raw.Seconds * st0.CalibrationScale
+	if math.Abs(j3.Est.Seconds-want)/want > 1e-9 {
+		t.Fatalf("post-restart estimate %g, want model %g x restored scale %g",
+			j3.Est.Seconds, raw.Seconds, st0.CalibrationScale)
+	}
+	j3.Wait()
+}
+
+// TestDurableJournalCorruptionRecovery: garbage appended to a valid
+// journal — a torn final line is the realistic case — must cost
+// nothing: Open succeeds and every journaled job recovers and runs.
+func TestDurableJournalCorruptionRecovery(t *testing.T) {
+	decks := []string{
+		"[control]\nproblem = sod\nnx = 60\nny = 4\nmaxsteps = 40\n",
+		"[control]\nproblem = sod\nnx = 60\nny = 4\nmaxsteps = 50\n",
+	}
+	want := make([]*bookleaf.Result, len(decks))
+	for i, d := range decks {
+		want[i] = directRun(t, d)
+	}
+	dir := t.TempDir()
+	s, err := Open(Options{
+		Workers: 1, Threads: 1, StateDir: dir, SpillInterval: -1,
+		// A long head job keeps the two victims safely queued (never
+		// started) until the clone.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := s.Submit(strings.NewReader("[control]\nproblem = sod\nnx = 400\nny = 4\ntend = 0.25\n"), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = head
+	jobs := make([]*Job, len(decks))
+	for i, d := range decks {
+		if jobs[i], err = s.Submit(strings.NewReader(d), 0, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clone := cloneStateDir(t, s, dir)
+	s.Close()
+
+	// Corrupt the clone: a torn JSON line, plain garbage, and a record
+	// with an op nobody knows.
+	jp := filepath.Join(clone, journalName)
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, `{"op":"submit","id":"j9","se`+"\n")
+	io.WriteString(f, "complete garbage \x00\x01\n")
+	io.WriteString(f, `{"op":"timewarp","id":"j000002"}`+"\n")
+	f.Close()
+
+	s2, err := Open(Options{Workers: 1, Threads: 1, StateDir: clone, SpillInterval: -1})
+	if err != nil {
+		t.Fatalf("Open failed on a corrupt journal: %v", err)
+	}
+	defer s2.Close()
+	for i, j := range jobs {
+		j2, ok := s2.Get(j.ID)
+		if !ok {
+			t.Fatalf("job %d lost to unrelated corruption", i)
+		}
+		j2.Wait()
+		if st := s2.Status(j2); st.State != StateDone {
+			t.Fatalf("job %d ended %q (%s)", i, st.State, st.Error)
+		}
+		assertResultBitwise(t, s2.Result(j2), want[i])
+	}
+
+	// Truncating the journal mid-file is also survivable: Open keeps the
+	// parseable prefix and never errors.
+	b, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir3 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir3, journalName), b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Options{Workers: 1, AdmitOnly: true, StateDir: dir3, SpillInterval: -1})
+	if err != nil {
+		t.Fatalf("Open failed on a truncated journal: %v", err)
+	}
+	s3.Close()
+}
+
+// TestClientQuotaTyped429: a client at its backlog quota is rejected
+// with *QuotaError — carrying a positive Retry-After — while another
+// client's identical deck still admits, and the global overload error
+// stays distinct.
+func TestClientQuotaTyped429(t *testing.T) {
+	longDeck := "[control]\nproblem = noh\nnx = 50\nny = 50\ntend = 0.6\n"
+	longEst := machine.PredictRun(machine.RunShape{
+		Problem: "noh", NX: 50, NY: 50, TEnd: 0.6, Threads: 1,
+	})
+	smallEst := admitEst(1)
+	quota := longEst.Seconds + smallEst.Seconds/2
+
+	s, err := Open(Options{
+		Workers: 1, Threads: 1, BudgetSeconds: 1e9,
+		ClientBudgetSeconds: quota, CalibrateAlpha: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	long, err := s.Submit(strings.NewReader(longDeck), 0, "alice")
+	if err != nil {
+		t.Fatalf("first alice deck rejected: %v", err)
+	}
+	_, err = s.Submit(strings.NewReader(admitDeck), 0, "alice")
+	var quotaErr *QuotaError
+	if !errors.As(err, &quotaErr) {
+		t.Fatalf("over-quota alice deck: got %v, want *QuotaError", err)
+	}
+	if quotaErr.Client != "alice" || quotaErr.RetryAfter < 1 || quotaErr.Quota != quota {
+		t.Fatalf("quota error misdescribes itself: %+v", quotaErr)
+	}
+	// The server is NOT full: bob's identical deck admits.
+	bob, err := s.Submit(strings.NewReader(admitDeck), 0, "bob")
+	if err != nil {
+		t.Fatalf("bob rejected while only alice is over quota: %v", err)
+	}
+	st := s.Stats()
+	if st.ClientBacklog["alice"] <= 0 || st.ClientBacklog["bob"] <= 0 {
+		t.Fatalf("per-client backlog not tracked: %+v", st.ClientBacklog)
+	}
+	// Drain: cancel the long job; alice's quota frees and she admits.
+	s.Cancel(long.ID)
+	long.Wait()
+	if st := s.Stats(); st.ClientBacklog["alice"] != 0 {
+		t.Fatalf("alice backlog %g after her job's terminal state", st.ClientBacklog["alice"])
+	}
+	a2, err := s.Submit(strings.NewReader(admitDeck), 0, "alice")
+	if err != nil {
+		t.Fatalf("alice rejected after her backlog drained: %v", err)
+	}
+	a2.Wait()
+	bob.Wait()
+}
+
+// TestFairOrderingInterleavesClients: whitebox check of the queue
+// order under start-time fair queuing. One client floods four equal
+// jobs, another submits two; within the same priority band the queue
+// must interleave them instead of serving the flood FIFO, and a
+// weighted client must advance proportionally faster.
+func TestFairOrderingInterleavesClients(t *testing.T) {
+	order := func(weights map[string]float64, submits []struct {
+		id     string
+		client string
+	}) []string {
+		s := New(Options{Workers: 1, ClientWeights: weights, AdmitOnly: true})
+		defer s.Close()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, sub := range submits {
+			j := &Job{
+				ID: sub.id, Client: sub.client, seq: i + 1,
+				Est: machine.Estimate{Seconds: 10},
+			}
+			s.fairTagLocked(j)
+			s.pushLocked(j)
+		}
+		ids := make([]string, len(s.queue))
+		for i, j := range s.queue {
+			ids[i] = j.ID
+		}
+		s.queue = nil
+		return ids
+	}
+
+	got := order(nil, []struct{ id, client string }{
+		{"a1", "alice"}, {"a2", "alice"}, {"a3", "alice"}, {"a4", "alice"},
+		{"b1", "bob"}, {"b2", "bob"},
+	})
+	want := []string{"a1", "b1", "a2", "b2", "a3", "a4"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("unweighted fair order %v, want %v", got, want)
+	}
+
+	// bob at weight 2 drains twice as fast: his first job outruns
+	// alice's flood entirely.
+	got = order(map[string]float64{"bob": 2}, []struct{ id, client string }{
+		{"a1", "alice"}, {"a2", "alice"}, {"a3", "alice"}, {"a4", "alice"},
+		{"b1", "bob"}, {"b2", "bob"},
+	})
+	want = []string{"b1", "a1", "b2", "a2", "a3", "a4"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("weighted fair order %v, want %v", got, want)
+	}
+}
+
+// TestBadClientRejected: hostile X-Client identities die as typed
+// *BadClientError before touching the queue or the journal.
+func TestBadClientRejected(t *testing.T) {
+	s := New(Options{Workers: 1, AdmitOnly: true})
+	defer s.Close()
+	for _, client := range []string{
+		strings.Repeat("a", 65),
+		"two words",
+		"ctrl\x01byte",
+		"naïve",
+		"tab\tseparated",
+	} {
+		_, err := s.Submit(strings.NewReader(admitDeck), 0, client)
+		var bad *BadClientError
+		if !errors.As(err, &bad) {
+			t.Fatalf("hostile client %q accepted (err=%v)", client, err)
+		}
+	}
+	// The default and a normal name both pass.
+	j, err := s.Submit(strings.NewReader(admitDeck), 0, "")
+	if err != nil || j.Client != DefaultClient {
+		t.Fatalf("empty client: job %+v err %v, want default %q", j, err, DefaultClient)
+	}
+	if j2, err := s.Submit(strings.NewReader(admitDeck), 0, "alice-42"); err != nil || j2.Client != "alice-42" {
+		t.Fatalf("plain client rejected: %v", err)
+	}
+}
+
+// TestTerminalJobPinsNoSnapshot is the memory-leak regression test: a
+// job that was preempted (and so held a mesh-sized resume snapshot)
+// must drop it — and the merged leg obs, the leg config's ResumeFrom,
+// and the journaled deck bytes — the moment it reaches a terminal
+// state, instead of pinning them for its whole retention-FIFO stay.
+func TestTerminalJobPinsNoSnapshot(t *testing.T) {
+	sodDeck := "[control]\nproblem = sod\nnx = 400\nny = 4\ntend = 0.25\n"
+	nohDeck := "[control]\nproblem = noh\nnx = 24\nny = 24\nmaxsteps = 60\n"
+	s := New(Options{Workers: 1, Threads: 1})
+	defer s.Close()
+	sod, err := s.Submit(strings.NewReader(sodDeck), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitProgress(t, s, sod, 10)
+	noh, err := s.Submit(strings.NewReader(nohDeck), 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noh.Wait()
+	sod.Wait()
+	st := s.Status(sod)
+	if st.State != StateDone || st.Preemptions < 1 {
+		t.Fatalf("scenario broke: sod ended %+v, want done with >=1 preemption", st)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sod.resumeSnap != nil {
+		t.Error("terminal job still pins its resume snapshot")
+	}
+	if sod.prevObs != nil {
+		t.Error("terminal job still pins its merged leg obs")
+	}
+	if sod.cfg.ResumeFrom != nil {
+		t.Error("terminal job's config still pins a snapshot through ResumeFrom")
+	}
+	if sod.deckRaw != nil {
+		t.Error("terminal job still pins its raw deck bytes")
+	}
+	// The result itself must be unharmed by the cleanup.
+	if sod.result == nil || sod.result.Obs == nil {
+		t.Fatal("cleanup destroyed the result")
+	}
+}
+
+// TestDoneStatusReportsDeckTEnd is the wrong-status-field regression
+// test: a MaxSteps-limited run stops short of the deck's configured
+// end time, and the done status must report that configured tend — not
+// echo the reached time into both fields.
+func TestDoneStatusReportsDeckTEnd(t *testing.T) {
+	deck := "[control]\nproblem = sod\nnx = 40\nny = 4\ntend = 0.25\nmaxsteps = 10\n"
+	s := New(Options{Workers: 1, Threads: 1})
+	defer s.Close()
+	j, err := s.Submit(strings.NewReader(deck), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	st := s.Status(j)
+	if st.State != StateDone {
+		t.Fatalf("job ended %q (%s)", st.State, st.Error)
+	}
+	if st.TEnd != 0.25 {
+		t.Fatalf("done status tend = %v, want the deck's configured 0.25", st.TEnd)
+	}
+	if st.Time >= st.TEnd {
+		t.Fatalf("scenario broke: maxsteps run reached time %v >= tend %v", st.Time, st.TEnd)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"bookleaf"
 	"bookleaf/internal/config"
+	"bookleaf/internal/machine"
 	"bookleaf/internal/par"
 )
 
@@ -555,6 +556,143 @@ func TestServeMetricsWatchTerminal(t *testing.T) {
 	if last.State != StateDone {
 		t.Fatalf("final document state %q, want %q", last.State, StateDone)
 	}
+}
+
+// TestServeMetricsWatchHostileInterval is the handler-panic regression
+// test: interval_ms is attacker-controlled, and values that overflow
+// time.Duration(v) * time.Millisecond into a non-positive duration
+// used to panic time.NewTicker inside the handler. Every hostile value
+// must clamp into [10ms, 60s] and stream normally.
+func TestServeMetricsWatchHostileInterval(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Threads: 1, AdmitOnly: true})
+	sub := submitDeck(t, ts, "[control]\nproblem = sod\nnx = 40\nny = 4\nmaxsteps = 10\n", 0)
+
+	for _, ms := range []string{
+		"9223372036854775807", // MaxInt64: *1e6 wraps negative
+		"1152921504606846976", // 1<<60: *1e6 wraps to exactly zero
+		"-5",
+		"60001", // over the cap: clamps to 60s, must not stall the final doc
+		"2147483648",
+		"not-a-number",
+	} {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sub.ID +
+			"/metrics?watch=1&interval_ms=" + ms)
+		if err != nil {
+			t.Fatalf("interval_ms=%s: request failed (handler panicked?): %v", ms, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("interval_ms=%s: status %d", ms, resp.StatusCode)
+		}
+		// The job is terminal, so the stream must deliver exactly one
+		// final document and close — promptly, whatever the interval.
+		dec := json.NewDecoder(resp.Body)
+		docs := 0
+		var last MetricsResponse
+		for dec.More() {
+			if err := dec.Decode(&last); err != nil {
+				t.Fatalf("interval_ms=%s: document %d: %v", ms, docs, err)
+			}
+			docs++
+		}
+		resp.Body.Close()
+		if docs != 1 || last.State != StateDone {
+			t.Fatalf("interval_ms=%s: %d docs ending %q, want 1 doc done", ms, docs, last.State)
+		}
+	}
+}
+
+// TestServeQuotaOverHTTP: the wire shape of the per-client quota — a
+// 429 whose code distinguishes client_over_quota from overloaded, with
+// Retry-After set, while another client's identical deck still admits.
+func TestServeQuotaOverHTTP(t *testing.T) {
+	longDeck := "[control]\nproblem = noh\nnx = 50\nny = 50\ntend = 0.6\n"
+	longEst := machine.PredictRun(machine.RunShape{
+		Problem: "noh", NX: 50, NY: 50, TEnd: 0.6, Threads: 1,
+	})
+	// Room for alice's long job but not the small one on top of it.
+	_, ts := newTestServer(t, Options{
+		Workers: 1, BudgetSeconds: 1e9,
+		ClientBudgetSeconds: longEst.Seconds + admitEst(1).Seconds/2,
+		CalibrateAlpha:      -1,
+	})
+	// One long (but cancelable) job fills alice's quota; AdmitOnly
+	// would drain it instantly, so use a real run.
+	a1 := submitDeckAs(t, ts, longDeck, 0, "alice")
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(admitDeck))
+	req.Header.Set("X-Client", "alice")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || eb.Error.Code != CodeOverQuota {
+		t.Fatalf("over-quota alice: status %d code %q, want 429 %q",
+			resp.StatusCode, eb.Error.Code, CodeOverQuota)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("quota 429 without Retry-After")
+	}
+	// bob admits the identical deck: the server is not full.
+	bob := submitDeckAs(t, ts, admitDeck, 0, "bob")
+
+	// Hostile client name is a typed 400.
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(admitDeck))
+	req.Header.Set("X-Client", strings.Repeat("x", 65))
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb = errorBody{}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error.Code != CodeBadClient {
+		t.Fatalf("hostile client: status %d code %q, want 400 %q",
+			resp.StatusCode, eb.Error.Code, CodeBadClient)
+	}
+
+	// Cleanup: cancel the runners so server Close is quick.
+	for _, id := range []string{a1.ID, bob.ID} {
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+		if resp, err := ts.Client().Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+func submitDeckAs(t *testing.T, ts *httptest.Server, deck string, priority int, client string) SubmitResponse {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priority != 0 {
+		req.Header.Set("X-Priority", fmt.Sprint(priority))
+	}
+	if client != "" {
+		req.Header.Set("X-Client", client)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit as %q: status %d: %s", client, resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub
 }
 
 // TestServeStatusEndpoint sanity-checks /v1/status wiring.

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -21,19 +22,28 @@ func FuzzSubmitDeck(f *testing.F) {
 	files, _ := filepath.Glob("../../decks/*.deck")
 	for _, p := range files {
 		if b, err := os.ReadFile(p); err == nil {
-			f.Add(b, "0")
-			f.Add(b, "10")
+			f.Add(b, "0", "")
+			f.Add(b, "10", "alice")
 		}
 	}
-	f.Add([]byte("[control]\nproblem = sod\nnx = 1000000000\nny = 1000000\n"), "1")
-	f.Add([]byte("[control]\nproblem = sod\nranks = 100000\nthreads = 1000000\n"), "0")
-	f.Add([]byte("[control]\nproblem = sod\nnx = 200\nny = 4\ntend = 1e300\n"), "0")
-	f.Add([]byte("[control]\nproblem = sod\nnx = 4000000000\nny = 4000000000\n"), "0")
-	f.Add([]byte("[control]\nproblem = sod\nnx = -7\nny = 0\n"), "-3")
-	f.Add([]byte("[control]\nproblem = sod\ncheckpoint = /etc/passwd\n"), "")
-	f.Add([]byte("garbage\n"), "2147483648")
-	f.Add([]byte("[supervise]\nenabled = maybe\n"), "0")
-	f.Add([]byte(""), "not-a-number")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 1000000000\nny = 1000000\n"), "1", "")
+	f.Add([]byte("[control]\nproblem = sod\nranks = 100000\nthreads = 1000000\n"), "0", "bob")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 200\nny = 4\ntend = 1e300\n"), "0", "")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 4000000000\nny = 4000000000\n"), "0", "")
+	f.Add([]byte("[control]\nproblem = sod\nnx = -7\nny = 0\n"), "-3", "")
+	f.Add([]byte("[control]\nproblem = sod\ncheckpoint = /etc/passwd\n"), "", "")
+	f.Add([]byte("garbage\n"), "2147483648", "x")
+	f.Add([]byte("[supervise]\nenabled = maybe\n"), "0", "")
+	f.Add([]byte(""), "not-a-number", "")
+	// Hostile client identities: oversized, control bytes, spaces,
+	// non-ASCII — each must be a typed 400, never a panic or a journaled
+	// garbage name.
+	f.Add([]byte("[control]\nproblem = sod\nnx = 40\nny = 4\n"), "0", strings.Repeat("a", 65))
+	f.Add([]byte("[control]\nproblem = sod\nnx = 40\nny = 4\n"), "0", "evil\x01name")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 40\nny = 4\n"), "0", "two words")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 40\nny = 4\n"), "0", "naïve")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 40\nny = 4\n"), "0", "../../etc/passwd")
+	f.Add([]byte("[control]\nproblem = sod\nnx = 40\nny = 4\n"), "0", "a\tb")
 
 	srv := New(Options{Workers: 1, BudgetSeconds: 3600, AdmitOnly: true})
 	ts := httptest.NewServer(srv.Handler())
@@ -42,13 +52,16 @@ func FuzzSubmitDeck(f *testing.F) {
 		srv.Close()
 	})
 
-	f.Fuzz(func(t *testing.T, deck []byte, priority string) {
+	f.Fuzz(func(t *testing.T, deck []byte, priority, client string) {
 		req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(deck))
 		if err != nil {
 			t.Skip() // header-invalid priority strings can't even build a request
 		}
 		if priority != "" {
 			req.Header.Set("X-Priority", priority)
+		}
+		if client != "" {
+			req.Header.Set("X-Client", client)
 		}
 		resp, err := ts.Client().Do(req)
 		if err != nil {
@@ -88,6 +101,54 @@ func FuzzSubmitDeck(f *testing.F) {
 			if jr.StatusCode != http.StatusOK {
 				t.Fatalf("admitted job %s not retrievable: %d", id, jr.StatusCode)
 			}
+		}
+	})
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the durable server as its
+// on-disk journal: a crash can tear the final line, an operator can
+// truncate or corrupt the file, and neither replay nor a full Open over
+// the wreckage may panic or fail — recovery keeps whatever parses. The
+// seeds cover a well-formed journal, the same journal torn mid-line,
+// records out of order, and assorted non-JSON garbage.
+func FuzzJournalReplay(f *testing.F) {
+	valid := `{"op":"submit","id":"j000001","seq":1,"priority":0,"client":"alice","deck":"W2NvbnRyb2xdCnByb2JsZW0gPSBzb2QKbnggPSA0MApueSA9IDQK","est_seconds":0.5,"model_seconds":0.5}
+{"op":"start","id":"j000001","seq":1}
+{"op":"done","id":"j000001","seq":1,"client":"alice"}
+{"op":"calib","scale":1.5,"n":3}
+`
+	f.Add([]byte(valid))
+	f.Add([]byte(valid[:len(valid)/2])) // torn mid-line
+	f.Add([]byte(`{"op":"spill","id":"jX","snap":"../../../etc/passwd","step":3}` + "\n"))
+	f.Add([]byte(`{"op":"done","id":"j9"}` + "\n" + `{"op":"done","id":"j9"}` + "\n"))
+	f.Add([]byte(`{"op":"submit"}` + "\n{not json}\n\x00\x01\x02\n"))
+	f.Add([]byte(`{"op":"calib","scale":-7,"n":-1}` + "\n"))
+	f.Add([]byte(`{"op":"submit","id":"j1","seq":999999,"est_seconds":1e308}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, journal []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, journalName), journal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := replayJournal(dir)
+		if st == nil {
+			t.Fatal("replayJournal returned nil")
+		}
+		// A full Open over the same wreckage must also survive: replayed
+		// live jobs re-validate their decks, corrupt ones fail typed, and
+		// the compacted journal it leaves behind must itself replay clean.
+		srv, err := Open(Options{
+			Workers: 1, AdmitOnly: true, StateDir: dir, SpillInterval: -1,
+		})
+		if err != nil {
+			t.Fatalf("Open over corrupt journal: %v", err)
+		}
+		srv.Close()
+		st2 := replayJournal(dir)
+		if st2.skipped != 0 {
+			t.Fatalf("compacted journal has %d unparseable lines", st2.skipped)
 		}
 	})
 }

@@ -38,9 +38,11 @@ type errorInfo struct {
 const (
 	CodeBadDeck      = "bad_deck"
 	CodeBadPriority  = "bad_priority"
+	CodeBadClient    = "bad_client"
 	CodeDeckTooLarge = "deck_too_large"
 	CodeNotFound     = "not_found"
 	CodeOverloaded   = "overloaded"
+	CodeOverQuota    = "client_over_quota"
 	CodeClosed       = "shutting_down"
 )
 
@@ -139,15 +141,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		priority = v
 	}
-	j, err := s.Submit(r.Body, priority)
+	j, err := s.Submit(r.Body, priority, r.Header.Get("X-Client"))
 	if err != nil {
 		var bad *BadDeckError
+		var badc *BadClientError
 		var over *OverloadedError
+		var quota *QuotaError
 		switch {
 		case errors.Is(err, config.ErrTooLarge):
 			writeErr(w, http.StatusRequestEntityTooLarge, CodeDeckTooLarge, err.Error())
 		case errors.As(err, &bad):
 			writeErr(w, http.StatusBadRequest, CodeBadDeck, bad.Reason)
+		case errors.As(err, &badc):
+			writeErr(w, http.StatusBadRequest, CodeBadClient, badc.Reason)
+		case errors.As(err, &quota):
+			// Same status as overloaded, distinct code: this client alone
+			// is over its backlog quota — other clients still admit.
+			w.Header().Set("Retry-After", strconv.Itoa(quota.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, CodeOverQuota, quota.Error())
 		case errors.As(err, &over):
 			w.Header().Set("Retry-After", strconv.Itoa(over.RetryAfter))
 			writeErr(w, http.StatusTooManyRequests, CodeOverloaded, over.Error())
@@ -214,9 +225,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Streaming mode: one NDJSON document per interval until the job
 	// reaches a terminal state (a final document included) or the
 	// client goes away.
+	// The interval clamps to [10ms, 60s]. The upper bound matters for
+	// more than politeness: interval_ms is attacker-controlled, and
+	// time.Duration(v) * time.Millisecond overflows int64 for huge v —
+	// a non-positive product would panic time.NewTicker.
 	interval := 250 * time.Millisecond
 	if ms := r.URL.Query().Get("interval_ms"); ms != "" {
 		if v, err := strconv.Atoi(ms); err == nil && v >= 10 {
+			if v > 60_000 {
+				v = 60_000
+			}
 			interval = time.Duration(v) * time.Millisecond
 		}
 	}

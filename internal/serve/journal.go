@@ -1,0 +1,294 @@
+// The durability layer: an append-only NDJSON job journal plus
+// per-job checkpoint-v2 spill files inside the server's state
+// directory (Options.StateDir). Every admission, state transition and
+// terminal outcome is one JSON line, fsynced as it is appended; each
+// preemption's in-memory snapshot (priority eviction, periodic spill
+// of a long-running leg, or the final park on graceful shutdown) is
+// written next to it as <id>.ckpt in the existing
+// partition/order-independent checkpoint-v2 gob format. A restarted
+// daemon replays the journal — re-admitting queued work, resuming
+// interrupted jobs from their last spilled snapshot through
+// Config.ResumeFrom (bitwise-identical to an uninterrupted run, the
+// per-leg obs snapshots merged), restoring per-client backlogs and
+// the calibrator's learned scale — then rewrites the journal
+// compacted so it does not grow across restarts.
+//
+// The journal is written under the scheduler mutex, so a mid-write
+// crash can tear at most the final line. Replay is correspondingly
+// paranoid: any line that does not parse, or that references a job or
+// snapshot that does not exist, is skipped — recovery keeps whatever
+// parses and never fails on a corrupt journal (FuzzJournalReplay pins
+// this down). The only errors Open surfaces are environmental: an
+// uncreatable state directory or an unwritable journal file.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bookleaf/internal/checkpoint"
+	"bookleaf/internal/obs"
+)
+
+// journalName is the NDJSON job log inside the state directory.
+const journalName = "journal.ndjson"
+
+// snapSuffix names the per-job checkpoint spill files (<id>.ckpt).
+const snapSuffix = ".ckpt"
+
+// Journal operations. Terminal records use the job-state strings
+// (StateDone / StateFailed / StateCanceled) directly as their op, so a
+// terminal line is self-describing without a second field.
+const (
+	opSubmit = "submit"
+	opStart  = "start"
+	opSpill  = "spill"
+	opCalib  = "calib"
+)
+
+func terminalOp(op string) bool {
+	return op == StateDone || op == StateFailed || op == StateCanceled
+}
+
+// journalRecord is one NDJSON line of the job journal. A single
+// struct covers every op; irrelevant fields stay at their zero value
+// and are omitted on the wire.
+type journalRecord struct {
+	Op string `json:"op"`
+	ID string `json:"id,omitempty"`
+
+	// submit: the admission facts needed to re-admit the job —
+	// including the raw deck bytes, so a restarted server re-parses
+	// exactly what the client sent (base64 in the JSON).
+	Seq          int     `json:"seq,omitempty"`
+	Priority     int     `json:"priority,omitempty"`
+	Client       string  `json:"client,omitempty"`
+	Deck         []byte  `json:"deck,omitempty"`
+	EstSeconds   float64 `json:"est_seconds,omitempty"`
+	ModelSeconds float64 `json:"model_seconds,omitempty"`
+
+	// spill: the snapshot file (relative to the state dir) and the
+	// leg bookkeeping a resumed job needs — the preemption point, the
+	// merged finished-leg obs snapshot, and the measured wall seconds
+	// the calibrator will be fed at completion.
+	Snap        string        `json:"snap,omitempty"`
+	Step        int           `json:"step,omitempty"`
+	Time        float64       `json:"time,omitempty"`
+	Preemptions int           `json:"preemptions,omitempty"`
+	WallSeconds float64       `json:"wall_seconds,omitempty"`
+	Obs         *obs.Snapshot `json:"obs,omitempty"`
+
+	// terminal: the failure message (empty for done/canceled-by-user).
+	Error string `json:"error,omitempty"`
+
+	// calib: the calibrator's scale and observation count after an
+	// Observe; replay restores the last record seen.
+	Scale float64 `json:"scale,omitempty"`
+	N     int     `json:"n,omitempty"`
+}
+
+// journal is the open append handle. All writes happen under the
+// server mutex; every append is fsynced so an acknowledged submission
+// survives a crash.
+type journal struct {
+	dir string
+	f   *os.File
+	enc *json.Encoder
+}
+
+func openJournalFile(dir string) (*journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{dir: dir, f: f, enc: json.NewEncoder(f)}, nil
+}
+
+func (jl *journal) append(rec *journalRecord) error {
+	if err := jl.enc.Encode(rec); err != nil {
+		return err
+	}
+	return jl.f.Sync()
+}
+
+func (jl *journal) close() {
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}
+
+func (jl *journal) snapName(id string) string { return id + snapSuffix }
+
+func (jl *journal) snapPath(id string) string {
+	return filepath.Join(jl.dir, jl.snapName(id))
+}
+
+// writeSnap spills a snapshot atomically (write-temp-then-rename): a
+// crash mid-spill leaves the previous spill intact, never a torn file.
+func (jl *journal) writeSnap(id string, sn *checkpoint.Snapshot) (string, error) {
+	name := jl.snapName(id)
+	tmp := filepath.Join(jl.dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	if err := sn.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, filepath.Join(jl.dir, name)); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return name, nil
+}
+
+func (jl *journal) removeSnap(id string) { os.Remove(jl.snapPath(id)) }
+
+// readSnapFile loads one spill; callers treat any error as "no spill"
+// and restart the job from scratch.
+func readSnapFile(path string) (*checkpoint.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return checkpoint.Read(f)
+}
+
+// replayJob is the reconstruction of one job from the journal.
+type replayJob struct {
+	id       string
+	seq      int
+	priority int
+	client   string
+	deck     []byte
+	est      float64
+	model    float64
+
+	terminal string // "", or the terminal state op
+	errMsg   string
+
+	snapFile    string
+	step        int
+	time        float64
+	preemptions int
+	wall        float64
+	obs         *obs.Snapshot
+}
+
+// replayState is everything a journal scan recovers.
+type replayState struct {
+	jobs          map[string]*replayJob
+	order         []string // first-seen (submission) order
+	terminalOrder []string // terminal-record order — the retention FIFO
+	calScale      float64
+	calN          int
+	maxSeq        int
+	skipped       int // lines dropped: unparseable or inconsistent
+}
+
+// journalScanBuf bounds one journal line: the largest legitimate line
+// is a submit record carrying a MaxDeckBytes deck (1 MiB default)
+// base64-expanded, so 16 MiB is generous. A longer line stops the
+// scan; everything before it is kept.
+const journalScanBuf = 16 << 20
+
+// replayJournal scans the journal and reduces it to per-job state.
+// It never fails: a missing journal is an empty one, and corrupt or
+// inconsistent lines are counted and skipped.
+func replayJournal(dir string) *replayState {
+	st := &replayState{jobs: map[string]*replayJob{}}
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if err != nil {
+		return st
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), journalScanBuf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			st.skipped++
+			continue
+		}
+		if rec.Seq > st.maxSeq {
+			st.maxSeq = rec.Seq
+		}
+		switch {
+		case rec.Op == opSubmit:
+			if rec.ID == "" || st.jobs[rec.ID] != nil {
+				st.skipped++ // anonymous or duplicate submission
+				continue
+			}
+			st.jobs[rec.ID] = &replayJob{
+				id: rec.ID, seq: rec.Seq, priority: rec.Priority,
+				client: rec.Client, deck: rec.Deck,
+				est: rec.EstSeconds, model: rec.ModelSeconds,
+			}
+			st.order = append(st.order, rec.ID)
+		case rec.Op == opStart:
+			if st.jobs[rec.ID] == nil {
+				st.skipped++
+			}
+			// A start without a later spill or terminal record replays
+			// the same as queued: the job re-runs from scratch.
+		case rec.Op == opSpill:
+			rj := st.jobs[rec.ID]
+			if rj == nil || rj.terminal != "" {
+				st.skipped++
+				continue
+			}
+			// Later spills supersede earlier ones for the same job.
+			rj.snapFile = rec.Snap
+			rj.step, rj.time = rec.Step, rec.Time
+			rj.preemptions, rj.wall = rec.Preemptions, rec.WallSeconds
+			rj.obs = rec.Obs
+		case terminalOp(rec.Op):
+			rj := st.jobs[rec.ID]
+			if rj == nil {
+				if rec.ID == "" {
+					st.skipped++
+					continue
+				}
+				// A compacted journal carries terminal jobs as a single
+				// self-describing record with no preceding submit.
+				rj = &replayJob{id: rec.ID, seq: rec.Seq, client: rec.Client}
+				st.jobs[rec.ID] = rj
+			}
+			if rj.terminal != "" {
+				st.skipped++ // double terminal
+				continue
+			}
+			rj.terminal = rec.Op
+			rj.errMsg = rec.Error
+			st.terminalOrder = append(st.terminalOrder, rec.ID)
+		case rec.Op == opCalib:
+			st.calScale, st.calN = rec.Scale, rec.N
+		default:
+			st.skipped++
+		}
+	}
+	// A scan error (torn final line past the buffer, I/O fault) stops
+	// the replay at the last good line; that prefix is what we keep.
+	return st
+}

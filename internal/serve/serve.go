@@ -21,11 +21,16 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +84,35 @@ type Options struct {
 	// (0 = the machine.NewCalibrator default; negative disables
 	// calibration, freezing the scale at 1).
 	CalibrateAlpha float64
+	// StateDir, when non-empty, makes the server durable: every
+	// submission, state transition and terminal outcome is appended to
+	// an fsynced NDJSON journal in the directory, preemption snapshots
+	// spill to disk next to it, and Open replays it all on restart —
+	// queued work re-admits, interrupted jobs resume from their last
+	// spill, and the calibrator's learned scale survives. Durable
+	// servers must be built with Open (which can fail on an unusable
+	// directory); New ignores StateDir.
+	StateDir string
+	// SpillInterval is the cadence at which a durable server
+	// checkpoints long-running legs: a leg that has run this long is
+	// preempted at its next step boundary, its snapshot spills to the
+	// state dir, and the job immediately resumes — bounding how much
+	// work a crash can lose (0 = default 60s; negative disables the
+	// periodic spill, leaving only preemption and shutdown spills).
+	// Each spill costs one checkpoint gather+restore and increments
+	// the job's preemption count. Ignored without StateDir.
+	SpillInterval time.Duration
+	// ClientBudgetSeconds caps one client's admitted-but-unfinished
+	// predicted seconds, so a single client cannot fill the whole
+	// admission budget: a deck past the cap is rejected with a typed
+	// *QuotaError (HTTP 429 client_over_quota) while other clients'
+	// decks still admit (0 = no per-client cap).
+	ClientBudgetSeconds float64
+	// ClientWeights gives named clients a weighted fair share of the
+	// queue within a priority band (see pushLocked); absent clients
+	// weigh 1. A weight-2 client's backlog drains twice as fast
+	// relative to a weight-1 client's under contention.
+	ClientWeights map[string]float64
 }
 
 func (o Options) withDefaults() Options {
@@ -106,7 +140,36 @@ func (o Options) withDefaults() Options {
 	if o.MaxTerminalJobs < 1 {
 		o.MaxTerminalJobs = 512
 	}
+	if o.SpillInterval == 0 {
+		o.SpillInterval = 60 * time.Second
+	}
 	return o
+}
+
+// DefaultClient is the identity of submissions that carry no X-Client
+// header.
+const DefaultClient = "anon"
+
+// maxClientLen bounds a client identity; names are printable ASCII so
+// they journal and log cleanly.
+const maxClientLen = 64
+
+// canonClient validates and canonicalises a client identity: empty
+// maps to DefaultClient, anything over maxClientLen bytes or outside
+// printable non-space ASCII is a typed 400.
+func canonClient(c string) (string, error) {
+	if c == "" {
+		return DefaultClient, nil
+	}
+	if len(c) > maxClientLen {
+		return "", &BadClientError{Reason: fmt.Sprintf("client name over %d bytes", maxClientLen)}
+	}
+	for i := 0; i < len(c); i++ {
+		if c[i] <= 0x20 || c[i] >= 0x7f {
+			return "", &BadClientError{Reason: "client name must be printable ASCII without spaces"}
+		}
+	}
+	return c, nil
 }
 
 // Job states, as reported on the wire.
@@ -123,6 +186,30 @@ const (
 type BadDeckError struct{ Reason string }
 
 func (e *BadDeckError) Error() string { return "bad deck: " + e.Reason }
+
+// BadClientError rejects a submission whose X-Client identity is
+// unusable. The wire layer maps it to 400.
+type BadClientError struct{ Reason string }
+
+func (e *BadClientError) Error() string { return "bad client: " + e.Reason }
+
+// QuotaError rejects an admissible deck because its client's backlog
+// quota has no room — distinct from *OverloadedError so a 429 tells a
+// client whether the server is full or it alone is over quota.
+// RetryAfter predicts the seconds until this client's backlog has
+// drained enough to fit the estimate.
+type QuotaError struct {
+	Client     string
+	RetryAfter int
+	EstSeconds float64
+	Backlog    float64
+	Quota      float64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("client %q over quota: backlog %.1fs + job %.1fs exceeds quota %.1fs (retry after %ds)",
+		e.Client, e.Backlog, e.EstSeconds, e.Quota, e.RetryAfter)
+}
 
 // OverloadedError rejects an admissible deck the budget has no room
 // for. RetryAfter is the predicted seconds until the backlog has
@@ -147,6 +234,9 @@ var ErrClosed = errors.New("serve: server closed")
 type Job struct {
 	ID       string
 	Priority int
+	// Client is the submitting identity (X-Client header, default
+	// "anon"): the unit of backlog quotas and fair queue ordering.
+	Client string
 	// Est is the admission estimate, calibrated by the measured wall
 	// clocks of previously completed jobs; modelSecs keeps the raw
 	// uncalibrated model seconds so each completion is observed
@@ -155,10 +245,17 @@ type Job struct {
 	modelSecs float64
 
 	seq int
+	// fairKey is the job's start-time-fair-queuing virtual finish tag,
+	// assigned at admission and kept across preemptions: within a
+	// priority band the queue orders by it, interleaving clients
+	// instead of serving one client's flood FIFO.
+	fairKey float64
 
 	// Everything below is guarded by the server mutex.
 	state        string
 	cfg          bookleaf.Config
+	deckRaw      []byte               // original deck bytes; durable servers journal and compact them
+	legStart     time.Time            // when the current leg started; drives the periodic spill
 	ctl          *bookleaf.Control    // current leg; nil unless running
 	pool         *par.Pool            // leased slot; nil unless running
 	resumeSnap   *checkpoint.Snapshot // snapshot the next leg resumes from
@@ -181,21 +278,52 @@ type Server struct {
 	mu       sync.Mutex
 	wg       sync.WaitGroup
 	jobs     map[string]*Job
-	queue    []*Job // pending, highest priority first, FIFO within
+	queue    []*Job // pending, highest priority first, fairKey then FIFO within
 	free     []*par.Pool
 	pools    []*par.Pool
 	backlog  float64  // predicted seconds of admitted unfinished work
 	terminal []string // terminal job IDs, oldest first — retention FIFO
 	seq      int
 	closed   bool
+
+	// Durability (nil / zero on an in-memory server).
+	jl        *journal
+	stopSpill chan struct{}
+
+	// Fairness. clientBacklog mirrors backlog per client for the quota
+	// gate; vnow and clientVTime implement start-time fair queuing: vnow
+	// is the virtual clock (advanced to the fair tag of each dispatched
+	// job), clientVTime[c] the virtual finish tag of client c's last
+	// admitted job. A new job's fairKey = max(vnow, clientVTime[c]) +
+	// est/weight(c), so a client's flood lines up serially in virtual
+	// time while a fresh client starts at vnow and interleaves.
+	clientBacklog map[string]float64
+	clientVTime   map[string]float64
+	vnow          float64
 }
 
-// New builds a Server and warms its pool fleet.
+// New builds an in-memory Server and warms its pool fleet. StateDir is
+// ignored; durable servers come from Open.
 func New(opt Options) *Server {
+	opt.StateDir = ""
+	s, _ := Open(opt) // cannot fail without a state dir
+	return s
+}
+
+// Open builds a Server, and — when opt.StateDir is set — makes it
+// durable: the directory is created if needed, the journal replayed
+// (queued work re-admitted, interrupted jobs set to resume from their
+// last spilled snapshot, terminal outcomes and the calibrator's learned
+// scale restored), then rewritten compacted. The only errors are
+// environmental — an uncreatable directory or unopenable journal;
+// journal corruption never fails Open, recovery keeps what parses.
+func Open(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:  opt,
-		jobs: make(map[string]*Job),
+		opt:           opt,
+		jobs:          make(map[string]*Job),
+		clientBacklog: make(map[string]float64),
+		clientVTime:   make(map[string]float64),
 	}
 	if opt.CalibrateAlpha >= 0 {
 		s.cal = machine.NewCalibrator(opt.CalibrateAlpha)
@@ -205,14 +333,323 @@ func New(opt Options) *Server {
 		s.pools = append(s.pools, p)
 		s.free = append(s.free, p)
 	}
-	return s
+	if opt.StateDir != "" {
+		if err := s.recover(); err != nil {
+			for _, p := range s.pools {
+				p.Close()
+			}
+			return nil, err
+		}
+		if opt.SpillInterval > 0 {
+			s.stopSpill = make(chan struct{})
+			s.wg.Add(1)
+			go s.spillLoop()
+		}
+		s.mu.Lock()
+		s.dispatchLocked()
+		s.mu.Unlock()
+	}
+	return s, nil
+}
+
+// recover replays the journal in StateDir into the fresh server and
+// compacts it. Called once from Open, before any concurrency exists.
+func (s *Server) recover() error {
+	if err := os.MkdirAll(s.opt.StateDir, 0o755); err != nil {
+		return fmt.Errorf("serve: state dir: %w", err)
+	}
+	st := replayJournal(s.opt.StateDir)
+	jl, err := openJournalFile(s.opt.StateDir)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	s.jl = jl
+	if s.cal != nil && st.calN > 0 {
+		s.cal.Restore(st.calScale, st.calN)
+	}
+	if st.maxSeq > s.seq {
+		s.seq = st.maxSeq
+	}
+	// Terminal jobs first, in their recorded retention order: status and
+	// error survive a restart, result field arrays do not (the snapshot
+	// files that could rebuild them are deleted at terminal state).
+	for _, id := range st.terminalOrder {
+		rj := st.jobs[id]
+		if rj == nil || rj.terminal == "" || s.jobs[id] != nil {
+			continue
+		}
+		j := &Job{
+			ID: rj.id, Priority: rj.priority, Client: rj.client,
+			seq: rj.seq, state: rj.terminal,
+			done: make(chan struct{}),
+		}
+		if rj.errMsg != "" {
+			j.err = errors.New(rj.errMsg)
+		} else if rj.terminal == StateCanceled {
+			j.err = bookleaf.ErrCanceled
+		}
+		close(j.done)
+		s.jobs[id] = j
+		s.terminal = append(s.terminal, id)
+	}
+	for len(s.terminal) > s.opt.MaxTerminalJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	// Live jobs in submission order, so fair tags rebuild the same way
+	// they were first assigned.
+	for _, id := range st.order {
+		rj := st.jobs[id]
+		if rj == nil || rj.terminal != "" || s.jobs[id] != nil {
+			continue
+		}
+		s.readmit(rj)
+	}
+	if err := s.compactJournal(); err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	// Anything .ckpt not owned by a live job is an orphan from a
+	// crashed spill or a compacted-away job.
+	if ents, err := os.ReadDir(s.opt.StateDir); err == nil {
+		for _, e := range ents {
+			name := e.Name()
+			if !strings.HasSuffix(name, snapSuffix) && !strings.HasSuffix(name, ".tmp") {
+				continue
+			}
+			id := strings.TrimSuffix(name, snapSuffix)
+			if j := s.jobs[id]; j != nil && j.resumeSnap != nil {
+				continue
+			}
+			os.Remove(filepath.Join(s.opt.StateDir, name))
+		}
+	}
+	return nil
+}
+
+// readmit reconstructs one live (queued or interrupted) job from the
+// journal: the deck is re-validated exactly like a fresh submission —
+// server caps may have changed across the restart, in which case the
+// job fails rather than runs oversized — and an interrupted job's last
+// spill is loaded so its next leg resumes bitwise where it left off. A
+// missing or corrupt spill restarts the job from scratch, dropping the
+// spilled leg bookkeeping with it so obs counters are not double-merged.
+func (s *Server) readmit(rj *replayJob) {
+	j := &Job{
+		ID: rj.id, Priority: rj.priority, Client: rj.client,
+		seq: rj.seq, state: StateQueued,
+		deckRaw: rj.deck,
+		done:    make(chan struct{}),
+	}
+	if j.Client == "" {
+		j.Client = DefaultClient
+	}
+	s.jobs[j.ID] = j
+	fail := func(reason string) {
+		s.terminalLocked(j, StateFailed, &BadDeckError{Reason: reason})
+	}
+	deck, err := config.ParseLimit(bytes.NewReader(rj.deck), s.opt.MaxDeckBytes)
+	if err != nil {
+		fail("journaled deck no longer parses: " + err.Error())
+		return
+	}
+	cfg, err := bookleaf.ConfigFromDeck(deck)
+	if err != nil {
+		fail("journaled deck no longer parses: " + err.Error())
+		return
+	}
+	if err := s.serverSafe(&cfg); err != nil {
+		fail("journaled deck no longer admissible: " + err.Error())
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		fail("journaled deck no longer admissible: " + err.Error())
+		return
+	}
+	j.cfg = cfg
+	j.Est = machine.Estimate{Seconds: rj.est}
+	j.modelSecs = rj.model
+	if !(j.Est.Seconds > 0) || math.IsInf(j.Est.Seconds, 0) {
+		// A tampered journal must not poison the backlog accounting.
+		j.Est.Seconds = 0
+	}
+	s.backlog += j.Est.Seconds
+	s.clientBacklog[j.Client] += j.Est.Seconds
+	s.fairTagLocked(j)
+	if rj.snapFile != "" {
+		snap, err := readSnapFile(filepath.Join(s.opt.StateDir, filepath.Base(rj.snapFile)))
+		if err == nil && snap.Validate(cfg.Problem, cfg.NX, cfg.NY,
+			cfg.NX*cfg.NY, (cfg.NX+1)*(cfg.NY+1)) == nil {
+			j.resumeSnap = snap
+			if rj.obs != nil {
+				// Re-materialise through a merge so a journal line with
+				// absent maps cannot leave nil ones for a later Merge to
+				// write into.
+				j.prevObs = mergeSnapshots(rj.obs)
+			}
+			j.preemptions = rj.preemptions
+			j.wallSeconds = rj.wall
+			j.lastStatus = bookleaf.RunStatus{Step: rj.step, Time: rj.time, TEnd: cfg.TEnd}
+		}
+	}
+	if s.opt.AdmitOnly {
+		s.terminalLocked(j, StateDone, nil)
+		return
+	}
+	s.pushLocked(j)
+}
+
+// compactJournal rewrites the journal as its minimal equivalent — one
+// calibration record, one submit (+ optional spill) per live job, one
+// self-describing terminal record per retained terminal job — writing
+// to a temp file then renaming over, so a crash mid-compaction leaves
+// the old journal intact. The append handle is reopened on the new
+// file. Called under no concurrency (from recover) or under s.mu.
+func (s *Server) compactJournal() error {
+	tmp := filepath.Join(s.opt.StateDir, journalName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	write := func(rec *journalRecord) {
+		if err == nil {
+			err = enc.Encode(rec)
+		}
+	}
+	if s.cal != nil {
+		if scale, n := s.cal.State(); n > 0 {
+			write(&journalRecord{Op: opCalib, Scale: scale, N: n})
+		}
+	}
+	for _, id := range s.terminal {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		rec := &journalRecord{Op: j.state, ID: j.ID, Seq: j.seq, Client: j.Client}
+		if j.err != nil && j.state == StateFailed {
+			rec.Error = j.err.Error()
+		}
+		write(rec)
+	}
+	live := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			live = append(live, j)
+		}
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].seq < live[b].seq })
+	for _, j := range live {
+		write(&journalRecord{
+			Op: opSubmit, ID: j.ID, Seq: j.seq,
+			Priority: j.Priority, Client: j.Client, Deck: j.deckRaw,
+			EstSeconds: j.Est.Seconds, ModelSeconds: j.modelSecs,
+		})
+		if j.resumeSnap != nil {
+			write(&journalRecord{
+				Op: opSpill, ID: j.ID, Snap: s.jl.snapName(j.ID),
+				Step: j.lastStatus.Step, Time: j.lastStatus.Time,
+				Preemptions: j.preemptions, WallSeconds: j.wallSeconds,
+				Obs: j.prevObs,
+			})
+			// The spilled snapshot itself must exist on disk for the
+			// record to mean anything after the next crash.
+			if _, werr := s.jl.writeSnap(j.ID, j.resumeSnap); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.opt.StateDir, journalName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	s.jl.close()
+	jl, err := openJournalFile(s.opt.StateDir)
+	if err != nil {
+		return err
+	}
+	s.jl = jl
+	return nil
+}
+
+// spillLoop periodically checkpoints long-running legs of a durable
+// server by preempting them: the snapshot hand-back routes through
+// legDone, which spills it to disk and requeues the job, and dispatch
+// restarts it immediately — the same bitwise-safe path priority
+// preemption uses, so a crash between spills loses at most
+// SpillInterval of work.
+func (s *Server) spillLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opt.SpillInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSpill:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				for _, j := range s.jobs {
+					if j.state == StateRunning && !j.preemptAsked &&
+						time.Since(j.legStart) >= s.opt.SpillInterval {
+						j.preemptAsked = true
+						j.ctl.Preempt()
+					}
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// fairTagLocked assigns j its start-time-fair-queuing tag and advances
+// the client's virtual time.
+func (s *Server) fairTagLocked(j *Job) {
+	w := 1.0
+	if cw, ok := s.opt.ClientWeights[j.Client]; ok && cw > 0 {
+		w = cw
+	}
+	start := s.vnow
+	if v := s.clientVTime[j.Client]; v > start {
+		start = v
+	}
+	j.fairKey = start + j.Est.Seconds/w
+	s.clientVTime[j.Client] = j.fairKey
 }
 
 // Submit parses a deck from r, predicts its cost, and either admits it
 // into the queue or rejects it with a typed error (*BadDeckError,
-// *OverloadedError, config.ErrTooLarge wrapped, or ErrClosed).
-func (s *Server) Submit(r io.Reader, priority int) (*Job, error) {
-	deck, err := config.ParseLimit(r, s.opt.MaxDeckBytes)
+// *BadClientError, *OverloadedError, *QuotaError, config.ErrTooLarge
+// wrapped, or ErrClosed). client is the submitting identity ("" maps
+// to DefaultClient): the unit of backlog quotas and fair ordering.
+func (s *Server) Submit(r io.Reader, priority int, client string) (*Job, error) {
+	client, err := canonClient(client)
+	if err != nil {
+		return nil, err
+	}
+	// Read the raw bytes first — a durable server journals exactly what
+	// the client sent — then parse through the same limited path an
+	// io.Reader submission always took (one byte over the cap still
+	// wraps config.ErrTooLarge).
+	raw, err := io.ReadAll(io.LimitReader(r, s.opt.MaxDeckBytes+1))
+	if err != nil {
+		return nil, &BadDeckError{Reason: err.Error()}
+	}
+	deck, err := config.ParseLimit(bytes.NewReader(raw), s.opt.MaxDeckBytes)
 	if err != nil {
 		if errors.Is(err, config.ErrTooLarge) {
 			return nil, err
@@ -267,19 +704,52 @@ func (s *Server) Submit(r io.Reader, priority int) (*Job, error) {
 			Backlog: s.backlog, Budget: s.opt.BudgetSeconds,
 		}
 	}
+	if q := s.opt.ClientBudgetSeconds; q > 0 {
+		if cb := s.clientBacklog[client]; cb+est.Seconds > q {
+			// The quota drains on one worker at worst (the client's jobs
+			// may all be queued behind others), so predict pessimistically
+			// against a single-slot drain of this client's own backlog.
+			excess := cb + est.Seconds - q
+			retry := int(math.Ceil(excess))
+			if retry < 1 {
+				retry = 1
+			}
+			return nil, &QuotaError{
+				Client: client, RetryAfter: retry,
+				EstSeconds: est.Seconds, Backlog: cb, Quota: q,
+			}
+		}
+	}
 	s.seq++
 	j := &Job{
 		ID:        fmt.Sprintf("j%06d", s.seq),
 		Priority:  priority,
+		Client:    client,
 		Est:       est,
 		modelSecs: modelSecs,
 		seq:       s.seq,
 		state:     StateQueued,
 		cfg:       cfg,
+		deckRaw:   raw,
 		done:      make(chan struct{}),
+	}
+	s.fairTagLocked(j)
+	if s.jl != nil {
+		// An unjournalable submission is rejected, not half-admitted: an
+		// acknowledged job must survive a crash.
+		rec := &journalRecord{
+			Op: opSubmit, ID: j.ID, Seq: j.seq,
+			Priority: j.Priority, Client: j.Client, Deck: raw,
+			EstSeconds: est.Seconds, ModelSeconds: modelSecs,
+		}
+		if err := s.jl.append(rec); err != nil {
+			s.seq--
+			return nil, fmt.Errorf("serve: journal append: %w", err)
+		}
 	}
 	s.jobs[j.ID] = j
 	s.backlog += est.Seconds
+	s.clientBacklog[client] += est.Seconds
 	if s.opt.AdmitOnly {
 		s.terminalLocked(j, StateDone, nil)
 		return j, nil
@@ -369,6 +839,7 @@ type Status struct {
 	ID          string  `json:"id"`
 	State       string  `json:"state"`
 	Priority    int     `json:"priority"`
+	Client      string  `json:"client"`
 	EstSeconds  float64 `json:"est_seconds"`
 	Preemptions int     `json:"preemptions"`
 	Step        int     `json:"step"`
@@ -383,7 +854,7 @@ func (s *Server) Status(j *Job) Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Status{
-		ID: j.ID, State: j.state, Priority: j.Priority,
+		ID: j.ID, State: j.state, Priority: j.Priority, Client: j.Client,
 		EstSeconds: j.Est.Seconds, Preemptions: j.preemptions,
 		Step: j.lastStatus.Step, Time: j.lastStatus.Time, TEnd: j.lastStatus.TEnd,
 	}
@@ -455,6 +926,9 @@ type Stats struct {
 	// calibration disabled); CalibrationN its observation count.
 	CalibrationScale float64 `json:"calibration_scale"`
 	CalibrationN     int     `json:"calibration_n"`
+	// ClientBacklog is each client's admitted-but-unfinished predicted
+	// seconds — the quantity the per-client quota gates on.
+	ClientBacklog map[string]float64 `json:"client_backlog,omitempty"`
 }
 
 // Stats snapshots the scheduler.
@@ -477,11 +951,20 @@ func (s *Server) Stats() Stats {
 		st.CalibrationScale = s.cal.Scale()
 		st.CalibrationN = s.cal.Observations()
 	}
+	if len(s.clientBacklog) > 0 {
+		st.ClientBacklog = make(map[string]float64, len(s.clientBacklog))
+		for c, b := range s.clientBacklog {
+			st.ClientBacklog[c] = b
+		}
+	}
 	return st
 }
 
-// Close stops admissions, cancels everything in flight, waits for the
-// legs to drain and releases the pool fleet.
+// Close stops admissions and releases the pool fleet. An in-memory
+// server cancels everything in flight; a durable server parks instead —
+// running jobs are preempted and their final snapshots spill to the
+// state dir, queued jobs stay journaled — so the next Open resumes all
+// of it.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -489,14 +972,26 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	for _, j := range s.queue {
-		s.terminalLocked(j, StateCanceled, bookleaf.ErrCanceled)
+	if s.stopSpill != nil {
+		close(s.stopSpill)
 	}
-	s.queue = nil
-	for _, j := range s.jobs {
-		if j.state == StateRunning {
-			j.cancelAsked = true
-			j.ctl.Cancel()
+	if s.jl == nil {
+		for _, j := range s.queue {
+			s.terminalLocked(j, StateCanceled, bookleaf.ErrCanceled)
+		}
+		s.queue = nil
+		for _, j := range s.jobs {
+			if j.state == StateRunning {
+				j.cancelAsked = true
+				j.ctl.Cancel()
+			}
+		}
+	} else {
+		for _, j := range s.jobs {
+			if j.state == StateRunning && !j.preemptAsked {
+				j.preemptAsked = true
+				j.ctl.Preempt()
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -504,17 +999,31 @@ func (s *Server) Close() {
 	for _, p := range s.pools {
 		p.Close()
 	}
+	s.mu.Lock()
+	if s.jl != nil {
+		// One last compaction so the journal on disk is minimal and the
+		// parked queue replays without scanning the whole history.
+		s.compactJournal()
+		s.jl.close()
+		s.jl = nil
+	}
+	s.mu.Unlock()
 }
 
-// pushLocked inserts j into the queue: highest priority first, FIFO
-// (by admission sequence) among equals. A preempted job keeps its
-// original sequence number, so it re-enters ahead of later arrivals of
-// the same priority.
+// pushLocked inserts j into the queue: highest priority first, then
+// fair tag (start-time fair queuing — clients interleave in proportion
+// to their weights instead of one client's flood running FIFO), then
+// admission sequence as the deterministic tiebreak. A preempted job
+// keeps its original tag and sequence, so it re-enters ahead of later
+// arrivals of the same priority and fair position.
 func (s *Server) pushLocked(j *Job) {
 	i := sort.Search(len(s.queue), func(i int) bool {
 		q := s.queue[i]
 		if q.Priority != j.Priority {
 			return q.Priority < j.Priority
+		}
+		if q.fairKey != j.fairKey {
+			return q.fairKey > j.fairKey
 		}
 		return q.seq > j.seq
 	})
@@ -537,6 +1046,11 @@ func (s *Server) removeQueuedLocked(j *Job) {
 // strictly outranks it. One preemption request per victim leg; the
 // snapshot hand-back re-enters through legDone.
 func (s *Server) dispatchLocked() {
+	if s.closed {
+		// A durable shutdown parks queued work for the next Open; nothing
+		// may start once close begins.
+		return
+	}
 	for len(s.free) > 0 && len(s.queue) > 0 {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
@@ -571,6 +1085,18 @@ func (s *Server) startLocked(j *Job, pool *par.Pool) {
 	j.ctl = ctl
 	j.pool = pool
 	j.preemptAsked = false
+	j.legStart = time.Now()
+	if j.fairKey > s.vnow {
+		// Virtual time advances to each dispatched job's finish tag, so a
+		// client idle through the flood re-enters at the current front
+		// rather than with ancient credit.
+		s.vnow = j.fairKey
+	}
+	if s.jl != nil {
+		// Best-effort: a lost start record replays as still-queued, which
+		// re-runs the job from its last spill — correct either way.
+		s.jl.append(&journalRecord{Op: opStart, ID: j.ID, Seq: j.seq})
+	}
 	cfg := j.cfg
 	cfg.Control = ctl
 	cfg.ResumeFrom = j.resumeSnap
@@ -610,18 +1136,28 @@ func (s *Server) legDone(j *Job, res *bookleaf.Result, err error, wall float64) 
 			// admission estimate priced. Failed and canceled runs
 			// stopped at an unknown fraction of it.
 			s.cal.Observe(j.modelSecs, j.wallSeconds)
+			if s.jl != nil {
+				if scale, n := s.cal.State(); n > 0 {
+					s.jl.append(&journalRecord{Op: opCalib, Scale: scale, N: n})
+				}
+			}
 		}
 		if j.prevObs != nil && res.Obs != nil {
 			j.prevObs.Merge(res.Obs)
 			res.Obs = j.prevObs
 		}
 		j.result = res
-		j.lastStatus = bookleaf.RunStatus{Step: res.Steps, Time: res.Time, TEnd: res.Time}
+		// TEnd is the deck's configured end time as the run resolved it,
+		// not the time reached: a MaxSteps-limited run reports how far
+		// short of tend it stopped.
+		j.lastStatus = bookleaf.RunStatus{Step: res.Steps, Time: res.Time, TEnd: res.TEnd}
 		s.terminalLocked(j, StateDone, nil)
 	case errors.As(err, &pe):
-		if j.cancelAsked || s.closed {
-			// A cancel (or shutdown) raced the preemption; the snapshot
-			// is discarded like any other canceled state.
+		if j.cancelAsked || (s.closed && s.jl == nil) {
+			// A cancel raced the preemption — or an in-memory server is
+			// shutting down; the snapshot is discarded like any other
+			// canceled state. A durable shutdown instead falls through to
+			// the spill below: the parked job resumes at the next Open.
 			s.terminalLocked(j, StateCanceled, bookleaf.ErrCanceled)
 			break
 		}
@@ -634,6 +1170,20 @@ func (s *Server) legDone(j *Job, res *bookleaf.Result, err error, wall float64) 
 		j.preemptions++
 		j.lastStatus = bookleaf.RunStatus{Step: pe.Step, Time: pe.Time, TEnd: j.lastStatus.TEnd}
 		j.state = StateQueued
+		if s.jl != nil {
+			// Spill the snapshot and its leg bookkeeping: after a crash
+			// the job resumes from here instead of from scratch. A failed
+			// spill only costs durability — the in-memory resume still has
+			// the snapshot.
+			if name, werr := s.jl.writeSnap(j.ID, j.resumeSnap); werr == nil {
+				s.jl.append(&journalRecord{
+					Op: opSpill, ID: j.ID, Snap: name,
+					Step: pe.Step, Time: pe.Time,
+					Preemptions: j.preemptions, WallSeconds: j.wallSeconds,
+					Obs: j.prevObs,
+				})
+			}
+		}
 		s.pushLocked(j)
 	case errors.Is(err, bookleaf.ErrCanceled):
 		s.terminalLocked(j, StateCanceled, err)
@@ -655,6 +1205,30 @@ func (s *Server) terminalLocked(j *Job, state string, err error) {
 	s.backlog -= j.Est.Seconds
 	if s.backlog < 0 {
 		s.backlog = 0
+	}
+	if s.clientBacklog != nil {
+		cb := s.clientBacklog[j.Client] - j.Est.Seconds
+		if cb <= 1e-9 {
+			delete(s.clientBacklog, j.Client)
+		} else {
+			s.clientBacklog[j.Client] = cb
+		}
+	}
+	// A terminal job sits in the retention FIFO for up to
+	// MaxTerminalJobs more completions; a preempted-then-finished job
+	// must not pin its mesh-sized resume snapshot (or the journaled raw
+	// deck) for all that time.
+	j.resumeSnap = nil
+	j.prevObs = nil
+	j.cfg.ResumeFrom = nil
+	j.deckRaw = nil
+	if s.jl != nil {
+		rec := &journalRecord{Op: state, ID: j.ID, Seq: j.seq, Client: j.Client}
+		if err != nil && state == StateFailed {
+			rec.Error = err.Error()
+		}
+		s.jl.append(rec)
+		s.jl.removeSnap(j.ID)
 	}
 	close(j.done)
 	s.terminal = append(s.terminal, j.ID)

@@ -28,7 +28,7 @@ func TestAdmissionExactBoundary(t *testing.T) {
 	// Budget exactly the estimate: the deck fits, boundary inclusive.
 	s := New(Options{Workers: 1, Threads: 1, BudgetSeconds: est.Seconds, AdmitOnly: true})
 	defer s.Close()
-	j, err := s.Submit(strings.NewReader(admitDeck), 0)
+	j, err := s.Submit(strings.NewReader(admitDeck), 0, "")
 	if err != nil {
 		t.Fatalf("deck at exact budget rejected: %v", err)
 	}
@@ -40,7 +40,7 @@ func TestAdmissionExactBoundary(t *testing.T) {
 	s2 := New(Options{Workers: 1, Threads: 1,
 		BudgetSeconds: math.Nextafter(est.Seconds, 0), AdmitOnly: true})
 	defer s2.Close()
-	_, err = s2.Submit(strings.NewReader(admitDeck), 0)
+	_, err = s2.Submit(strings.NewReader(admitDeck), 0, "")
 	var over *OverloadedError
 	if !errors.As(err, &over) {
 		t.Fatalf("deck one ulp over budget admitted (err=%v)", err)
@@ -63,7 +63,7 @@ func TestAdmissionRetryAfterDrainTime(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		s := New(Options{Workers: workers, Threads: 1, BudgetSeconds: 1, AdmitOnly: true})
-		_, err := s.Submit(strings.NewReader(bigDeck), 0)
+		_, err := s.Submit(strings.NewReader(bigDeck), 0, "")
 		var over *OverloadedError
 		if !errors.As(err, &over) {
 			t.Fatalf("workers=%d: giant deck admitted (err=%v)", workers, err)
@@ -85,7 +85,7 @@ func TestAdmissionBacklogAccounting(t *testing.T) {
 	s := New(Options{Workers: 1, Threads: 1, BudgetSeconds: 2 * est.Seconds, AdmitOnly: true})
 	defer s.Close()
 	for i := 0; i < 5; i++ {
-		if _, err := s.Submit(strings.NewReader(admitDeck), 0); err != nil {
+		if _, err := s.Submit(strings.NewReader(admitDeck), 0, ""); err != nil {
 			t.Fatalf("submission %d rejected: %v", i, err)
 		}
 		if got := s.Stats().Backlog; got != 0 {
@@ -103,7 +103,7 @@ func TestSubmitRejectsFileIO(t *testing.T) {
 		admitDeck + "[obs]\ntrace = /tmp/evil\n",
 		admitDeck + "[obs]\nmetrics = /tmp/evil.json\n",
 	} {
-		_, err := s.Submit(strings.NewReader(deck), 0)
+		_, err := s.Submit(strings.NewReader(deck), 0, "")
 		var bad *BadDeckError
 		if !errors.As(err, &bad) {
 			t.Fatalf("file-io deck accepted (err=%v):\n%s", err, deck)
@@ -125,14 +125,14 @@ func TestSubmitRejectsResourceBombs(t *testing.T) {
 		"[control]\nproblem = sod\nnx = 100000000\nny = 100000000\n", // nx, ny over the cap
 		"[control]\nproblem = sod\nnx = 4096\nny = 4096\n",           // product over the 4Mi cap
 	} {
-		_, err := s.Submit(strings.NewReader(deck), 0)
+		_, err := s.Submit(strings.NewReader(deck), 0, "")
 		var bad *BadDeckError
 		if !errors.As(err, &bad) {
 			t.Fatalf("resource-bomb deck admitted (err=%v):\n%s", err, deck)
 		}
 	}
 	// Parallelism inside the caps still admits.
-	if _, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\nthreads = 2\n"), 0); err != nil {
+	if _, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\nthreads = 2\n"), 0, ""); err != nil {
 		t.Fatalf("in-cap parallel deck rejected: %v", err)
 	}
 }
@@ -144,11 +144,11 @@ func TestSubmitRejectsResourceBombs(t *testing.T) {
 func TestRanksChargedInAdmission(t *testing.T) {
 	s := New(Options{Workers: 1, Threads: 1, AdmitOnly: true})
 	defer s.Close()
-	serial, err := s.Submit(strings.NewReader(admitDeck), 0)
+	serial, err := s.Submit(strings.NewReader(admitDeck), 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ranks2, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\n"), 0)
+	ranks2, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\n"), 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestRanksChargedInAdmission(t *testing.T) {
 		t.Fatalf("ranks=2 estimate %g, want 2x serial %g",
 			ranks2.Est.Seconds, 2*serial.Est.Seconds)
 	}
-	threaded, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\nthreads = 8\n"), 0)
+	threaded, err := s.Submit(strings.NewReader(admitDeck+"ranks = 2\nthreads = 8\n"), 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestTerminalJobRetention(t *testing.T) {
 	defer s.Close()
 	var ids []string
 	for i := 0; i < 5; i++ {
-		j, err := s.Submit(strings.NewReader(admitDeck), 0)
+		j, err := s.Submit(strings.NewReader(admitDeck), 0, "")
 		if err != nil {
 			t.Fatalf("submission %d rejected: %v", i, err)
 		}
@@ -195,7 +195,7 @@ func TestTerminalJobRetention(t *testing.T) {
 func TestSubmitRejectsOversizedDeck(t *testing.T) {
 	s := New(Options{Workers: 1, MaxDeckBytes: 64, AdmitOnly: true})
 	defer s.Close()
-	_, err := s.Submit(strings.NewReader(admitDeck+strings.Repeat("# padding\n", 32)), 0)
+	_, err := s.Submit(strings.NewReader(admitDeck+strings.Repeat("# padding\n", 32)), 0, "")
 	if err == nil || !strings.Contains(err.Error(), "too large") {
 		t.Fatalf("oversized deck accepted (err=%v)", err)
 	}
@@ -204,7 +204,7 @@ func TestSubmitRejectsOversizedDeck(t *testing.T) {
 func TestClosedServerRejects(t *testing.T) {
 	s := New(Options{Workers: 1, AdmitOnly: true})
 	s.Close()
-	if _, err := s.Submit(strings.NewReader(admitDeck), 0); !errors.Is(err, ErrClosed) {
+	if _, err := s.Submit(strings.NewReader(admitDeck), 0, ""); !errors.Is(err, ErrClosed) {
 		t.Fatalf("closed server accepted a job (err=%v)", err)
 	}
 }
@@ -224,7 +224,7 @@ func TestCalibrationRefinesEstimates(t *testing.T) {
 	if st := s.Stats(); st.CalibrationScale != 1 || st.CalibrationN != 0 {
 		t.Fatalf("fresh server calibration %+v, want scale 1, n 0", st)
 	}
-	j1, err := s.Submit(strings.NewReader(deck), 0)
+	j1, err := s.Submit(strings.NewReader(deck), 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestCalibrationRefinesEstimates(t *testing.T) {
 	if !(st.CalibrationScale > 0) || math.IsInf(st.CalibrationScale, 0) {
 		t.Fatalf("degenerate calibration scale %g", st.CalibrationScale)
 	}
-	j2, err := s.Submit(strings.NewReader(deck), 0)
+	j2, err := s.Submit(strings.NewReader(deck), 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestCalibrationRefinesEstimates(t *testing.T) {
 
 	off := New(Options{Workers: 1, Threads: 1, BudgetSeconds: 1e9, CalibrateAlpha: -1})
 	defer off.Close()
-	jo, err := off.Submit(strings.NewReader(deck), 0)
+	jo, err := off.Submit(strings.NewReader(deck), 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
